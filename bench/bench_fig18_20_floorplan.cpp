@@ -1,0 +1,126 @@
+// Figs. 18, 19 & 20: the custom NoC-insertion floorplanning routine versus
+// the constrained standard floorplanner. Fig. 18 sweeps switch counts on
+// D_26_media (area); Figs. 19/20 compare area and power at the best power
+// point across all benchmarks. Also reports the core displacement each
+// method causes — the custom routine's whole point is to minimally change
+// the input floorplan.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "sunfloor/core/switch_placement.h"
+
+using namespace sunfloor;
+using namespace sunfloor::bench;
+
+namespace {
+
+struct FpResult {
+    double area = 0.0;
+    double power = 0.0;
+    double displacement = 0.0;
+    double deviation = 0.0;
+};
+
+FpResult legalize(const DesignPoint& p, const DesignSpec& spec,
+                  const SynthesisConfig& cfg, bool standard,
+                  std::uint64_t seed) {
+    Topology topo = p.topo;
+    Rng rng(seed);
+    const auto fp = legalize_floorplan(topo, spec, cfg, standard, rng);
+    FpResult r;
+    for (double a : fp.layer_area_mm2) r.area += a;
+    r.power = evaluate_topology(topo, spec, cfg.eval).power.noc_mw();
+    r.displacement = fp.total_core_displacement;
+    r.deviation = fp.total_switch_deviation;
+    return r;
+}
+
+void BM_custom_insertion(benchmark::State& state) {
+    const DesignSpec spec = prepared_benchmark("D_26_media");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    const auto res = Synthesizer(spec, cfg).run(SynthesisPhase::Phase1);
+    const auto* bp = best(res);
+    for (auto _ : state) {
+        Topology topo = bp->topo;
+        Rng rng(7);
+        auto fp = legalize_floorplan(topo, spec, cfg, false, rng);
+        benchmark::DoNotOptimize(fp.layer_area_mm2[0]);
+    }
+}
+BENCHMARK(BM_custom_insertion)->Unit(benchmark::kMillisecond);
+
+void BM_standard_insertion(benchmark::State& state) {
+    const DesignSpec spec = prepared_benchmark("D_26_media");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    const auto res = Synthesizer(spec, cfg).run(SynthesisPhase::Phase1);
+    const auto* bp = best(res);
+    for (auto _ : state) {
+        Topology topo = bp->topo;
+        Rng rng(7);
+        auto fp = legalize_floorplan(topo, spec, cfg, true, rng);
+        benchmark::DoNotOptimize(fp.layer_area_mm2[0]);
+    }
+}
+BENCHMARK(BM_standard_insertion)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_header("Custom vs standard floorplanner for NoC insertion",
+                 "Figs. 18, 19 and 20");
+
+    // --- Fig. 18: area vs switch count on D_26_media ------------------------
+    {
+        const DesignSpec spec = prepared_benchmark("D_26_media");
+        SynthesisConfig cfg = paper_cfg();
+        cfg.run_floorplan = false;
+        const auto res = Synthesizer(spec, cfg).run(SynthesisPhase::Phase1);
+        Table t({"switches", "custom_mm2", "standard_mm2", "custom_core_move",
+                 "standard_core_move"});
+        for (const auto& p : res.points) {
+            if (!p.valid) continue;
+            const auto c = legalize(p, spec, cfg, false, 7);
+            const auto s = legalize(p, spec, cfg, true, 7);
+            t.add_row({static_cast<long long>(p.switch_count), c.area, s.area,
+                       c.displacement, s.displacement});
+        }
+        std::printf("\n-- Fig. 18: die area vs switch count (D_26_media) --\n");
+        t.write_pretty(std::cout);
+        t.save_csv("fig18_area_vs_switches.csv");
+    }
+
+    // --- Figs. 19/20: best power point across benchmarks --------------------
+    {
+        Table t({"benchmark", "custom_mm2", "standard_mm2", "custom_mW",
+                 "standard_mW", "custom_core_move", "standard_core_move"});
+        for (const auto& name : benchmark_names()) {
+            const DesignSpec spec = prepared_benchmark(name);
+            SynthesisConfig cfg = paper_cfg();
+            cfg.run_floorplan = false;
+            const auto res =
+                Synthesizer(spec, cfg).run(SynthesisPhase::Phase1);
+            const auto* bp = best(res);
+            if (!bp) continue;
+            const auto c = legalize(*bp, spec, cfg, false, 7);
+            const auto s = legalize(*bp, spec, cfg, true, 7);
+            t.add_row({name, c.area, s.area, c.power, s.power, c.displacement,
+                       s.displacement});
+        }
+        std::printf("\n-- Figs. 19/20: area & power at the best point --\n");
+        t.write_pretty(std::cout);
+        t.save_csv("fig19_20_floorplan_comparison.csv");
+        std::printf(
+            "\nexpected shape: the custom routine keeps the cores in place "
+            "(near-zero displacement) and tracks the LP ideals; the "
+            "constrained annealer moves cores and drifts unpredictably.\n"
+            "NOTE: our sequence-pair baseline re-packs whitespace, so unlike "
+            "constrained Parquet in the paper it often matches the custom "
+            "routine's die area (see EXPERIMENTS.md).\n");
+    }
+
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Runtime claim of Section VIII-E: "a few seconds to build a topology with
+// few switches ... 2-3 minutes for topologies with many switches (50, 60)".
+// Our implementation is far faster in absolute terms; this bench records
+// how per-topology build time scales with the switch count on the largest
+// benchmark (D_65_pipe).
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "sunfloor/core/partition_graphs.h"
+#include "sunfloor/core/path_compute.h"
+
+using namespace sunfloor;
+using namespace sunfloor::bench;
+
+namespace {
+
+// Build exactly one topology (partition + paths + placement) at a fixed
+// switch count.
+void BM_one_topology(benchmark::State& state) {
+    static const DesignSpec spec = prepared_benchmark("D_65_pipe");
+    const int k = static_cast<int>(state.range(0));
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    const Digraph pg =
+        build_partition_graph(spec.comm, spec.cores.num_cores(), cfg.alpha);
+    for (auto _ : state) {
+        Rng rng(cfg.seed);
+        const auto part = partition_kway(pg, k, rng, cfg.partition);
+        CoreAssignment assign;
+        assign.core_switch = part.block;
+        for (int s = 0; s < k; ++s) assign.switch_layer.push_back(0);
+        // Layer = rounded average of the member cores' layers.
+        std::vector<double> sum(k, 0.0);
+        std::vector<int> cnt(k, 0);
+        for (int c = 0; c < spec.cores.num_cores(); ++c) {
+            sum[part.block[c]] += spec.cores.core(c).layer;
+            ++cnt[part.block[c]];
+        }
+        for (int s = 0; s < k; ++s)
+            assign.switch_layer[s] =
+                cnt[s] ? static_cast<int>(sum[s] / cnt[s] + 0.5) : 0;
+        auto dp = synthesize_design_point(spec, cfg, assign, "bench", 0.0, rng);
+        benchmark::DoNotOptimize(dp.valid);
+    }
+}
+BENCHMARK(BM_one_topology)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(30)
+    ->Arg(50)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_full_sweep(benchmark::State& state) {
+    static const DesignSpec spec = prepared_benchmark("D_65_pipe");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    cfg.max_switches = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto res = Synthesizer(spec, cfg).run(SynthesisPhase::Phase1);
+        benchmark::DoNotOptimize(res.num_valid());
+    }
+}
+BENCHMARK(BM_full_sweep)->Arg(16)->Arg(65)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_header("Synthesis runtime scaling on D_65_pipe",
+                 "the Section VIII-E runtime discussion");
+    std::printf(
+        "paper: seconds for small switch counts, 2-3 minutes at 50-60 "
+        "switches (2 GHz machine); shape to check: superlinear growth in "
+        "the switch count.\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench mirrors the paper's experimental setup of Section VIII:
+// 32-bit links, 400 MHz operating point, max_ill = 25 unless the
+// experiment varies it, and input core placements produced by the
+// sequence-pair annealer (the Parquet substitute) with the area +
+// wire-length objective.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/floorplan/annealer.h"
+#include "sunfloor/io/report.h"
+#include "sunfloor/spec/benchmarks.h"
+
+namespace sunfloor::bench {
+
+/// Benchmark with annealed per-layer core placement (Section VIII-A: "the
+/// initial positions of the cores ... are obtained using existing tools").
+inline DesignSpec prepared_benchmark(const std::string& name,
+                                     std::uint64_t seed = 42) {
+    DesignSpec spec = make_benchmark(name);
+    AnnealOptions fopts;
+    fopts.wirelength_weight = 5e-4;
+    Rng rng(seed);
+    floorplan_design_layers(spec.cores, spec.comm, fopts, rng);
+    return spec;
+}
+
+/// 2-D comparison design: all cores on one die, re-annealed.
+inline DesignSpec prepared_2d(const DesignSpec& spec3d,
+                              std::uint64_t seed = 42) {
+    DesignSpec flat = to_2d(spec3d);
+    AnnealOptions fopts;
+    fopts.wirelength_weight = 5e-4;
+    Rng rng(seed);
+    floorplan_design_layers(flat.cores, flat.comm, fopts, rng);
+    return flat;
+}
+
+/// The experimental configuration of Section VIII.
+inline SynthesisConfig paper_cfg() {
+    SynthesisConfig cfg;
+    cfg.eval.freq_hz = 400e6;
+    cfg.max_ill = 25;
+    return cfg;
+}
+
+/// Best-power design point of a run, or nullptr.
+inline const DesignPoint* best(const SynthesisResult& res) {
+    const int i = res.best_power_index();
+    return i >= 0 ? &res.points[static_cast<std::size_t>(i)] : nullptr;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n(reproduces %s of SunFloor 3D, Seiculescu et al.)\n", what,
+                paper_ref);
+    std::printf("==============================================================\n");
+}
+
+}  // namespace sunfloor::bench

@@ -1,0 +1,123 @@
+// Shared synthesis types: configuration, core-to-switch assignment, design
+// points and Pareto filtering.
+//
+// The synthesis procedure outputs "a set of tradeoff points of topologies
+// that meet the constraints, with different values of power, latency, and
+// design area" (Section IV); DesignPoint is one such point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunfloor/graph/partition.h"
+#include "sunfloor/noc/evaluation.h"
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/spec/parser.h"
+#include "sunfloor/util/rng.h"
+
+namespace sunfloor {
+
+/// All knobs of the synthesis flow (Section IV inputs).
+struct SynthesisConfig {
+    /// Operating frequency and component models.
+    EvalParams eval{};
+
+    /// Maximum NoC links crossing any adjacent layer boundary (the TSV
+    /// yield constraint, translated to links — Section IV).
+    int max_ill = 25;
+
+    /// Technology freedom explored by Phase 1: vertical links may span
+    /// multiple layers and cores may connect to switches in other layers.
+    /// Phase 2 ignores this (it is adjacent-only by construction).
+    bool allow_multilayer_links = true;
+
+    /// PG weight parameter alpha (Definition 3): 1.0 = pure bandwidth,
+    /// 0.0 = pure latency.
+    double alpha = 1.0;
+
+    /// Theta sweep of Algorithm 1 (the paper found 1..15 step 3 works well).
+    double theta_min = 1.0;
+    double theta_max = 15.0;
+    double theta_step = 3.0;
+
+    /// Algorithm 3 soft thresholds: soft_max_ill = max_ill - soft_ill_margin,
+    /// soft_max_switch_size = max_switch_size - soft_switch_margin, and
+    /// SOFT_INF = soft_inf_factor * (max cost of any flow).
+    int soft_ill_margin = 2;
+    int soft_switch_margin = 1;
+    double soft_inf_factor = 10.0;
+    /// Ablation switch: disable the soft thresholds entirely.
+    bool use_soft_thresholds = true;
+
+    /// Path-cost latency weight: cost = marginal power (mW) +
+    /// latency_weight * cycles. 0 = pure power objective.
+    double latency_weight = 0.0;
+
+    /// Fraction of raw link bandwidth usable by traffic.
+    double link_capacity_utilization = 1.0;
+
+    /// Partitioner settings and determinism.
+    PartitionOptions partition{};
+    std::uint64_t seed = Rng::kDefaultSeed;
+
+    /// Legalize switch/TSV positions into the floorplan (Section VII); off
+    /// speeds up sweeps that only need topology-level numbers.
+    bool run_floorplan = true;
+
+    /// Switch-count sweep range; <= 0 means automatic (Phase 1: 1..|cores|,
+    /// Phase 2: Algorithm 2's schedule).
+    int min_switches = 0;
+    int max_switches = 0;
+};
+
+/// Output of the partitioning step: which switch each core hangs off and
+/// which layer each switch is assigned to (Step 7 of Algorithm 1).
+struct CoreAssignment {
+    std::vector<int> core_switch;
+    std::vector<int> switch_layer;
+
+    int num_switches() const {
+        return static_cast<int>(switch_layer.size());
+    }
+};
+
+/// One synthesized and evaluated topology.
+struct DesignPoint {
+    explicit DesignPoint(Topology t) : topo(std::move(t)) {}
+
+    std::string phase;     ///< "phase1" or "phase2"
+    int switch_count = 0;  ///< switches in the topology (before pruning)
+    double theta = 0.0;    ///< theta used (0 = plain PG)
+    Topology topo;
+    EvalReport report;
+    /// Die area per layer after NoC insertion (empty when run_floorplan is
+    /// false).
+    std::vector<double> layer_die_area_mm2;
+    bool valid = false;
+    std::string fail_reason;
+
+    double total_die_area_mm2() const {
+        double a = 0.0;
+        for (double v : layer_die_area_mm2) a += v;
+        return a;
+    }
+};
+
+/// Indices of the Pareto-optimal points over (power, latency, area), among
+/// valid points only.
+std::vector<int> pareto_front(const std::vector<DesignPoint>& points);
+
+/// Index of the valid point with the lowest total power; -1 when none.
+int best_power_point(const std::vector<DesignPoint>& points);
+
+/// Index of the valid point with the lowest average latency; -1 when none.
+int best_latency_point(const std::vector<DesignPoint>& points);
+
+/// Build the initial topology induced by a core assignment: switches at
+/// bandwidth-weighted centroids of their cores, plus the core->switch and
+/// switch->core links demanded by the flows. Inter-switch links are *not*
+/// created — that is the path computation's job.
+Topology build_initial_topology(const DesignSpec& spec,
+                                const CoreAssignment& assign);
+
+}  // namespace sunfloor

@@ -1,0 +1,102 @@
+#include "sunfloor/core/partition_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sunfloor {
+
+double pg_edge_weight(double bw, double lat, double max_bw, double min_lat,
+                      double alpha) {
+    double w = 0.0;
+    if (max_bw > 0.0) w += alpha * bw / max_bw;
+    if (lat > 0.0 && min_lat > 0.0) w += (1.0 - alpha) * min_lat / lat;
+    return w;
+}
+
+Digraph build_partition_graph(const CommSpec& comm, int num_cores,
+                              double alpha) {
+    const double max_bw = comm.max_bw();
+    const double min_lat = comm.min_lat();
+    Digraph pg(num_cores);
+    for (const auto& f : comm.flows())
+        pg.merge_edge(f.src, f.dst,
+                      pg_edge_weight(f.bw_mbps, f.max_latency_cycles, max_bw,
+                                     min_lat, alpha));
+    return pg;
+}
+
+Digraph build_scaled_partition_graph(const Digraph& pg,
+                                     const std::vector<int>& layer,
+                                     double theta, double theta_max) {
+    const int n = pg.num_vertices();
+    double max_wt = 0.0;
+    for (const auto& e : pg.edges()) max_wt = std::max(max_wt, e.weight);
+
+    Digraph spg(n);
+    // Scale PG edges per Eq. 1.
+    for (const auto& e : pg.edges()) {
+        const int la = layer.at(static_cast<std::size_t>(e.src));
+        const int lb = layer.at(static_cast<std::size_t>(e.dst));
+        const double w =
+            la == lb ? e.weight
+                     : e.weight / (theta * std::max(1, std::abs(la - lb)));
+        spg.add_edge(e.src, e.dst, w);
+    }
+    // New low-weight edges between non-communicating same-layer pairs (at
+    // most one-tenth of PG's max weight, per the paper's calibration).
+    const double new_wt = theta_max > 0.0
+                              ? theta * max_wt / (10.0 * theta_max)
+                              : 0.0;
+    if (new_wt > 0.0) {
+        for (int u = 0; u < n; ++u)
+            for (int v = 0; v < n; ++v) {
+                if (u == v) continue;
+                if (layer.at(static_cast<std::size_t>(u)) !=
+                    layer.at(static_cast<std::size_t>(v)))
+                    continue;
+                if (pg.find_edge(u, v) || pg.find_edge(v, u)) continue;
+                // Add once per unordered pair.
+                if (u < v && !spg.find_edge(u, v))
+                    spg.add_edge(u, v, new_wt);
+            }
+    }
+    return spg;
+}
+
+LayerGraph build_layer_partition_graph(const CommSpec& comm,
+                                       const CoreSpec& cores, int layer,
+                                       double alpha) {
+    LayerGraph out;
+    out.core_ids = cores.cores_in_layer(layer);
+    const int n = static_cast<int>(out.core_ids.size());
+    out.g = Digraph(n);
+
+    std::vector<int> local(static_cast<std::size_t>(cores.num_cores()), -1);
+    for (int i = 0; i < n; ++i)
+        local[static_cast<std::size_t>(out.core_ids[static_cast<std::size_t>(i)])] = i;
+
+    const double max_bw = comm.max_bw();
+    const double min_lat = comm.min_lat();
+    double max_wt = 0.0;
+    for (const auto& f : comm.flows()) {
+        const int a = local.at(static_cast<std::size_t>(f.src));
+        const int b = local.at(static_cast<std::size_t>(f.dst));
+        if (a < 0 || b < 0) continue;  // inter-layer flows are ignored here
+        const double w = pg_edge_weight(f.bw_mbps, f.max_latency_cycles,
+                                        max_bw, min_lat, alpha);
+        out.g.merge_edge(a, b, w);
+        max_wt = std::max(max_wt, w);
+    }
+
+    // Connect isolated vertices with near-zero edges so the partitioner
+    // still considers them (Definition 5).
+    const double tiny = max_wt > 0.0 ? max_wt * 1e-3 : 1e-6;
+    for (int v = 0; v < n; ++v) {
+        if (out.g.out_degree(v) + out.g.in_degree(v) > 0) continue;
+        for (int u = 0; u < n; ++u)
+            if (u != v) out.g.add_edge(v, u, tiny);
+    }
+    return out;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,51 @@
+// Partitioning graphs of Section V.
+//
+//  * PG  (Definition 3) — same vertices/edges as the communication graph;
+//    edge weight h_ij = alpha * bw_ij / max_bw
+//                     + (1 - alpha) * min_lat / lat_ij.
+//  * SPG (Definition 4) — PG plus low-weight edges between all same-layer
+//    core pairs, with inter-layer edge weights scaled down by theta
+//    (Eq. 1). Partitioning the SPG pulls same-layer cores into the same
+//    block, reducing inter-layer links.
+//  * LPG (Definition 5) — per-layer subgraph of the communication graph
+//    with the same weight formula; isolated vertices get near-zero edges
+//    to every other vertex of the layer so the partitioner can still move
+//    them.
+#pragma once
+
+#include "sunfloor/graph/digraph.h"
+#include "sunfloor/spec/comm_spec.h"
+#include "sunfloor/spec/core_spec.h"
+
+namespace sunfloor {
+
+/// Weight h_ij of Definition 3 for one flow.
+double pg_edge_weight(double bw, double lat, double max_bw, double min_lat,
+                      double alpha);
+
+/// Build PG(U, H, alpha) over `num_cores` vertices. Parallel flows between
+/// the same pair are merged (weights summed — heavier communication still
+/// means a stronger pull).
+Digraph build_partition_graph(const CommSpec& comm, int num_cores,
+                              double alpha);
+
+/// Build SPG(W, L, theta) from an existing PG and the per-core layer
+/// assignment (Eq. 1). `theta_max` is the sweep upper bound used in the
+/// new-edge weight term theta * max_wt / (10 * theta_max).
+Digraph build_scaled_partition_graph(const Digraph& pg,
+                                     const std::vector<int>& layer,
+                                     double theta, double theta_max);
+
+/// LPG for one layer, with local vertex ids.
+struct LayerGraph {
+    Digraph g;
+    std::vector<int> core_ids;  ///< local vertex -> global core id
+};
+
+/// Build LPG(Z, M, ly). `alpha` and the max_bw/min_lat normalizers are
+/// taken over the *whole* communication spec as in Definition 5.
+LayerGraph build_layer_partition_graph(const CommSpec& comm,
+                                       const CoreSpec& cores, int layer,
+                                       double alpha);
+
+}  // namespace sunfloor

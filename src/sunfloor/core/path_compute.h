@@ -1,0 +1,50 @@
+// Path computation (Section VI, Algorithm 3).
+//
+// Flows are routed one at a time in decreasing bandwidth order over the
+// switch graph. Every ordered switch pair is a candidate physical link; the
+// cost of routing a flow across (i, j) is the *marginal* power of carrying
+// it there (dynamic wire + TSV energy, destination-switch traversal energy,
+// plus the idle cost of opening the link when it does not exist yet),
+// optionally weighted with latency. Algorithm 3's hard (INF) and soft
+// (SOFT_INF) thresholds gate:
+//   * vertical adjacency  — links across >= 2 layers are forbidden unless
+//     the technology allows them (Phase 1 freedom);
+//   * max_ill             — a new link may not push any crossed adjacent
+//     boundary past the budget; close to the budget costs SOFT_INF;
+//   * max_switch_size     — ports on either endpoint may not exceed the
+//     largest switch usable at the target frequency.
+//
+// Deadlock freedom:
+//   * routing deadlock  — inter-switch paths follow the up*/down*
+//     discipline w.r.t. the switch index order (ascending segment followed
+//     by a descending segment), which makes the channel dependency graph
+//     acyclic by construction on any topology;
+//   * message-dependent deadlock — request and response flows use disjoint
+//     physical links (class-separated channels), so the two classes can
+//     never couple into a cycle (see deadlock.h).
+//
+// When flows remain unroutable because endpoints ran out of ports, one
+// indirect (core-less) switch per affected layer is inserted and the failed
+// flows are retried through it (Section VI's indirect switches).
+#pragma once
+
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+
+namespace sunfloor {
+
+struct PathComputeResult {
+    bool ok = false;
+    std::vector<int> failed_flows;      ///< flow ids left unrouted
+    int indirect_switches_added = 0;
+    std::vector<int> capacity_violations;  ///< link ids oversubscribed
+};
+
+/// Route every flow of `spec` on `topo` (which must already contain the
+/// core->switch links from build_initial_topology), creating inter-switch
+/// links as needed.
+PathComputeResult compute_paths(Topology& topo, const DesignSpec& spec,
+                                const SynthesisConfig& cfg);
+
+}  // namespace sunfloor

@@ -1,0 +1,151 @@
+#include "sunfloor/core/switch_placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sunfloor/floorplan/standard_inserter.h"
+#include "sunfloor/lp/placement_lp.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+bool place_switches_lp(Topology& topo, const DesignSpec& spec) {
+    const int nsw = topo.num_switches();
+    if (nsw == 0) return true;
+
+    PlacementProblem p;
+    p.num_movable = nsw;
+    p.fixed_points.reserve(static_cast<std::size_t>(spec.cores.num_cores()));
+    for (const auto& c : spec.cores.cores())
+        p.fixed_points.push_back(c.center());
+
+    // Merge link bandwidths per (switch, peer) pair; request and response
+    // channels between the same endpoints pull together.
+    std::map<std::pair<int, int>, double> s2c;  // (switch, core) -> bw
+    std::map<std::pair<int, int>, double> s2s;  // (min_sw, max_sw) -> bw
+    for (int l = 0; l < topo.num_links(); ++l) {
+        const auto& lk = topo.link(l);
+        const double w = std::max(lk.bw_mbps, 1.0);  // unused links pull weakly
+        if (lk.src.is_switch() && lk.dst.is_switch()) {
+            const auto key = std::minmax(lk.src.index, lk.dst.index);
+            s2s[{key.first, key.second}] += w;
+        } else if (lk.src.is_switch()) {
+            s2c[{lk.src.index, lk.dst.index}] += w;
+        } else {
+            s2c[{lk.dst.index, lk.src.index}] += w;
+        }
+    }
+    for (const auto& [key, w] : s2c)
+        p.fixed_conns.push_back({key.first, key.second, w});
+    for (const auto& [key, w] : s2s)
+        p.movable_conns.push_back({key.first, key.second, w});
+
+    PlacementResult r = solve_placement_lp(p);
+    bool lp_ok = r.ok;
+    if (!lp_ok) r = solve_placement_median(p);
+    for (int s = 0; s < nsw; ++s)
+        topo.switch_at(s).position = r.positions[static_cast<std::size_t>(s)];
+    return lp_ok;
+}
+
+namespace {
+
+// Free-standing TSV macros demanded by the vertical links of `topo`.
+std::vector<TsvMacro> collect_tsv_macros(const Topology& topo,
+                                         const SynthesisConfig& cfg) {
+    std::vector<TsvMacro> all;
+    const int flit_bits = cfg.eval.lib.params().flit_width_bits;
+    const double area = cfg.eval.tsv.macro_area_mm2(flit_bits);
+    for (int l = 0; l < topo.num_links(); ++l) {
+        const auto& lk = topo.link(l);
+        const int la = topo.node_layer(lk.src);
+        const int lb = topo.node_layer(lk.dst);
+        if (la == lb) continue;
+        const auto macros = tsv_macros_for_link(
+            la, topo.node_position(lk.src), lb, topo.node_position(lk.dst),
+            area, format("tsv_l%d", l));
+        for (const auto& m : macros)
+            if (!m.embedded) all.push_back(m);  // embedded live inside ports
+    }
+    return all;
+}
+
+}  // namespace
+
+FloorplanOutcome legalize_floorplan(Topology& topo, const DesignSpec& spec,
+                                    const SynthesisConfig& cfg,
+                                    bool use_standard, Rng& rng) {
+    FloorplanOutcome out;
+    out.used_standard_inserter = use_standard;
+    const int layers = std::max(1, spec.cores.num_layers());
+    out.layer_area_mm2.assign(static_cast<std::size_t>(layers), 0.0);
+    out.layer_core_displacement.assign(static_cast<std::size_t>(layers), 0.0);
+
+    const auto macros = collect_tsv_macros(topo, cfg);
+
+    for (int ly = 0; ly < layers; ++ly) {
+        const auto core_ids = spec.cores.cores_in_layer(ly);
+        std::vector<Rect> fixed;
+        fixed.reserve(core_ids.size());
+        for (int id : core_ids) fixed.push_back(spec.cores.core(id).rect());
+
+        // Switches of this layer (skip unused ones) then TSV macros.
+        std::vector<InsertBlock> blocks;
+        std::vector<int> block_switch;  // switch id per block, -1 for macros
+        for (int s = 0; s < topo.num_switches(); ++s) {
+            if (topo.switch_at(s).layer != ly) continue;
+            const int in = topo.switch_in_degree(s);
+            const int on = topo.switch_out_degree(s);
+            if (in + on == 0) continue;
+            const double area = cfg.eval.lib.switch_area_mm2(in, on);
+            const double side = std::sqrt(std::max(area, 1e-6));
+            blocks.push_back(
+                {side, side, topo.switch_at(s).position,
+                 topo.switch_at(s).name});
+            block_switch.push_back(s);
+        }
+        for (const auto& m : macros) {
+            if (m.layer != ly) continue;
+            const double side = std::sqrt(std::max(m.area_mm2, 1e-8));
+            blocks.push_back({side, side, m.preferred, m.label});
+            block_switch.push_back(-1);
+            ++out.tsv_macros_placed;
+        }
+
+        InsertionResult ins;
+        if (blocks.empty()) {
+            ins.fixed_rects = fixed;
+            const Rect bb = bounding_box(fixed);
+            ins.die_width = bb.right();
+            ins.die_height = bb.top();
+        } else if (use_standard) {
+            StandardInsertOptions sopts;
+            ins = insert_blocks_standard(fixed, blocks, sopts, rng);
+        } else {
+            ins = insert_blocks_custom(fixed, blocks);
+        }
+
+        // Write back displaced core geometry and legalized switch centers.
+        for (std::size_t i = 0; i < core_ids.size(); ++i) {
+            const double d = manhattan(
+                ins.fixed_rects[i].center(),
+                spec.cores.core(core_ids[i]).center());
+            out.layer_core_displacement[static_cast<std::size_t>(ly)] += d;
+            topo.set_core_geometry(core_ids[i], ins.fixed_rects[i].center(),
+                                   ly);
+        }
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            const int s = block_switch[b];
+            if (s >= 0)
+                topo.switch_at(s).position = ins.inserted_rects[b].center();
+        }
+        out.layer_area_mm2[static_cast<std::size_t>(ly)] = ins.die_area();
+        out.total_core_displacement +=
+            out.layer_core_displacement[static_cast<std::size_t>(ly)];
+        out.total_switch_deviation += ins.total_deviation;
+    }
+    return out;
+}
+
+}  // namespace sunfloor

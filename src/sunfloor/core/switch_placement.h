@@ -1,0 +1,50 @@
+// Switch position computation and floorplan legalization (Section VII).
+//
+// Step 1 — the LP: minimize the bandwidth-weighted Manhattan length of all
+// core-to-switch and switch-to-switch links (Eq. 2-5) over the switch
+// coordinates, the cores being fixed. Solved with the in-repo simplex (the
+// paper uses lp_solve); a weighted-median descent solver cross-checks it in
+// the tests. Coordinates are shared across layers: a vertical link's planar
+// length is the in-plane offset between its endpoints, so stacking
+// communicating switches is exactly what the LP optimizes.
+//
+// Step 2 — legalization: the ideal positions usually overlap the cores;
+// the custom insertion routine (or, for comparison, the constrained
+// standard floorplanner) legalizes switches and free-standing TSV macros
+// layer by layer, displacing cores only when necessary. Resulting switch
+// positions are written back into the topology, displaced core centers are
+// updated, and per-layer die areas are reported.
+#pragma once
+
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+#include "sunfloor/floorplan/inserter.h"
+#include "sunfloor/floorplan/tsv_macros.h"
+
+namespace sunfloor {
+
+/// Solve the switch-position LP and write the coordinates into `topo`.
+/// Returns false when the simplex failed (positions fall back to the
+/// weighted-median solution in that case).
+bool place_switches_lp(Topology& topo, const DesignSpec& spec);
+
+/// Per-layer legalization summary.
+struct FloorplanOutcome {
+    std::vector<double> layer_area_mm2;      ///< die bounding box per layer
+    std::vector<double> layer_core_displacement;
+    double total_core_displacement = 0.0;
+    double total_switch_deviation = 0.0;     ///< distance from LP ideals
+    int tsv_macros_placed = 0;
+    bool used_standard_inserter = false;
+};
+
+/// Legalize the NoC components of `topo` into the floorplan of `spec`.
+/// `use_standard` selects the constrained-annealer baseline of Section
+/// VIII-D instead of the custom routine. Updates switch positions and core
+/// geometry snapshots inside `topo`.
+FloorplanOutcome legalize_floorplan(Topology& topo, const DesignSpec& spec,
+                                    const SynthesisConfig& cfg,
+                                    bool use_standard, Rng& rng);
+
+}  // namespace sunfloor

@@ -1,0 +1,137 @@
+#include "sunfloor/core/synthesizer.h"
+
+#include "sunfloor/core/path_compute.h"
+#include "sunfloor/core/switch_placement.h"
+#include "sunfloor/noc/deadlock.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+DesignPoint synthesize_design_point(const DesignSpec& spec,
+                                    const SynthesisConfig& cfg,
+                                    const CoreAssignment& assign,
+                                    const std::string& phase, double theta,
+                                    Rng& rng) {
+    DesignPoint dp(build_initial_topology(spec, assign));
+    dp.phase = phase;
+    dp.switch_count = assign.num_switches();
+    dp.theta = theta;
+
+    const int layers = spec.cores.num_layers();
+
+    // Pruning rule 3 (Section V-C): reject before path computation when the
+    // core-to-switch links alone blow the inter-layer budget.
+    if (dp.topo.max_ill_used(layers) > cfg.max_ill) {
+        dp.fail_reason = format("core links need %d inter-layer links > max_ill %d",
+                                dp.topo.max_ill_used(layers), cfg.max_ill);
+        return dp;
+    }
+    // Pruning rule 1: cores attached to one switch may not already exceed
+    // the size usable at this frequency (ports are one per incident link).
+    const int max_sw = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
+    for (int s = 0; s < dp.topo.num_switches(); ++s) {
+        if (dp.topo.switch_in_degree(s) > max_sw ||
+            dp.topo.switch_out_degree(s) > max_sw) {
+            dp.fail_reason =
+                format("switch %d exceeds max size %d at %.0f MHz", s,
+                       max_sw, cfg.eval.freq_hz / 1e6);
+            return dp;
+        }
+    }
+
+    const PathComputeResult paths = compute_paths(dp.topo, spec, cfg);
+    if (!paths.ok) {
+        dp.fail_reason = format("path computation failed (%zu flows, %zu capacity)",
+                                paths.failed_flows.size(),
+                                paths.capacity_violations.size());
+        return dp;
+    }
+
+    place_switches_lp(dp.topo, spec);
+    if (cfg.run_floorplan) {
+        const FloorplanOutcome fp =
+            legalize_floorplan(dp.topo, spec, cfg, /*use_standard=*/false, rng);
+        dp.layer_die_area_mm2 = fp.layer_area_mm2;
+    }
+
+    dp.report = evaluate_topology(dp.topo, spec, cfg.eval);
+
+    if (dp.topo.max_ill_used(layers) > cfg.max_ill)
+        dp.fail_reason = "max_ill violated";
+    else if (dp.report.latency_violations > 0)
+        dp.fail_reason = format("%d latency violations",
+                                dp.report.latency_violations);
+    else if (!is_routing_deadlock_free(dp.topo))
+        dp.fail_reason = "routing deadlock";
+    else if (!is_message_dependent_deadlock_free(dp.topo, spec.comm))
+        dp.fail_reason = "message-dependent deadlock";
+    else if (!classes_are_separated(dp.topo, spec.comm))
+        dp.fail_reason = "message classes share a channel";
+    else
+        dp.valid = true;
+    return dp;
+}
+
+std::vector<FrequencyPoint> Synthesizer::run_frequency_sweep(
+    const std::vector<double>& freqs_hz, SynthesisPhase phase) {
+    std::vector<FrequencyPoint> sweep;
+    const SynthesisConfig base = cfg_;
+    for (double f : freqs_hz) {
+        FrequencyPoint fp;
+        fp.freq_hz = f;
+        cfg_ = base;
+        cfg_.eval.freq_hz = f;
+        fp.result = run(phase);
+        sweep.push_back(std::move(fp));
+    }
+    cfg_ = base;
+    return sweep;
+}
+
+std::pair<int, int> best_power_over_sweep(
+    const std::vector<FrequencyPoint>& sweep) {
+    int bi = -1;
+    int bj = -1;
+    double best = 0.0;
+    for (int i = 0; i < static_cast<int>(sweep.size()); ++i) {
+        const int j = sweep[static_cast<std::size_t>(i)].result
+                          .best_power_index();
+        if (j < 0) continue;
+        const double p = sweep[static_cast<std::size_t>(i)]
+                             .result.points[static_cast<std::size_t>(j)]
+                             .report.power.total_mw();
+        if (bi < 0 || p < best) {
+            best = p;
+            bi = i;
+            bj = j;
+        }
+    }
+    return {bi, bj};
+}
+
+SynthesisResult Synthesizer::run(SynthesisPhase phase) {
+    Rng rng(cfg_.seed);
+    SynthesisResult result;
+    switch (phase) {
+        case SynthesisPhase::Phase1:
+            result.points = run_phase1(spec_, cfg_, rng);
+            result.phase_used = "phase1";
+            break;
+        case SynthesisPhase::Phase2:
+            result.points = run_phase2(spec_, cfg_, rng);
+            result.phase_used = "phase2";
+            break;
+        case SynthesisPhase::Auto: {
+            result.points = run_phase1(spec_, cfg_, rng);
+            result.phase_used = "phase1";
+            if (result.num_valid() == 0) {
+                result.points = run_phase2(spec_, cfg_, rng);
+                result.phase_used = "phase2";
+            }
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace sunfloor

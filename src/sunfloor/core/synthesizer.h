@@ -1,0 +1,96 @@
+// SunFloor 3D top-level synthesis driver (Fig. 3).
+//
+// For each switch count the flow partitions the cores (Phase 1 over the
+// PG/SPG, or Phase 2 layer by layer over the LPGs), assigns switch layers,
+// computes deadlock-free paths under the TSV and switch-size constraints,
+// solves the switch-position LP, legalizes the floorplan and evaluates the
+// result. Every design point that meets the constraints is saved; the
+// designer picks from the resulting power/latency/area tradeoff set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+
+namespace sunfloor {
+
+enum class SynthesisPhase {
+    Auto,    ///< Phase 1, falling back to Phase 2 when nothing is valid
+    Phase1,  ///< Algorithm 1 only (cores may attach to any layer's switch)
+    Phase2,  ///< Algorithm 2 only (layer-by-layer, adjacent links only)
+};
+
+struct SynthesisResult {
+    std::vector<DesignPoint> points;
+    std::string phase_used;
+
+    int best_power_index() const { return best_power_point(points); }
+    int best_latency_index() const { return best_latency_point(points); }
+    std::vector<int> pareto_indices() const { return pareto_front(points); }
+    int num_valid() const {
+        int n = 0;
+        for (const auto& p : points) n += p.valid ? 1 : 0;
+        return n;
+    }
+};
+
+/// Build, route, place and evaluate one design point from a core-to-switch
+/// assignment. This is the inner body of both phases, also exposed for the
+/// ablation benches.
+DesignPoint synthesize_design_point(const DesignSpec& spec,
+                                    const SynthesisConfig& cfg,
+                                    const CoreAssignment& assign,
+                                    const std::string& phase, double theta,
+                                    Rng& rng);
+
+/// Algorithm 1 — Phase 1: sweep the switch count over min-cut partitions of
+/// the PG; switch counts that fail the constraints are retried with the SPG
+/// over the theta sweep.
+std::vector<DesignPoint> run_phase1(const DesignSpec& spec,
+                                    const SynthesisConfig& cfg, Rng& rng);
+
+/// Algorithm 2 — Phase 2: per-layer partitioning of the LPGs, cores only
+/// connect to same-layer switches, vertical links only between adjacent
+/// layers.
+std::vector<DesignPoint> run_phase2(const DesignSpec& spec,
+                                    const SynthesisConfig& cfg, Rng& rng);
+
+/// One operating point of the frequency sweep.
+struct FrequencyPoint {
+    double freq_hz = 0.0;
+    SynthesisResult result;
+};
+
+/// Convenience driver around the two phases.
+class Synthesizer {
+  public:
+    Synthesizer(DesignSpec spec, SynthesisConfig cfg)
+        : spec_(std::move(spec)), cfg_(std::move(cfg)) {}
+
+    const DesignSpec& spec() const { return spec_; }
+    const SynthesisConfig& config() const { return cfg_; }
+
+    SynthesisResult run(SynthesisPhase phase = SynthesisPhase::Auto);
+
+    /// The outer loop of Fig. 3: "the NoC architectural parameters, such
+    /// as frequency of operation, are varied and the topology design
+    /// process is repeated for each architectural point". Frequencies at
+    /// which a core's aggregate traffic exceeds the link capacity are
+    /// reported with an empty result. Typical usage sweeps a few points
+    /// and lets the designer pick from the union of tradeoff sets.
+    std::vector<FrequencyPoint> run_frequency_sweep(
+        const std::vector<double>& freqs_hz,
+        SynthesisPhase phase = SynthesisPhase::Auto);
+
+  private:
+    DesignSpec spec_;
+    SynthesisConfig cfg_;
+};
+
+/// Index (into the sweep) and point index of the lowest-power valid design
+/// over all frequencies; {-1, -1} when none.
+std::pair<int, int> best_power_over_sweep(
+    const std::vector<FrequencyPoint>& sweep);
+
+}  // namespace sunfloor

@@ -1,0 +1,143 @@
+#include "sunfloor/floorplan/sequence_pair.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sunfloor {
+
+namespace {
+
+void validate_perm(const std::vector<int>& p) {
+    std::vector<char> seen(p.size(), 0);
+    for (int v : p) {
+        if (v < 0 || v >= static_cast<int>(p.size()) ||
+            seen[static_cast<std::size_t>(v)])
+            throw std::invalid_argument("SequencePair: not a permutation");
+        seen[static_cast<std::size_t>(v)] = 1;
+    }
+}
+
+}  // namespace
+
+SequencePair::SequencePair(int n)
+    : gp_(static_cast<std::size_t>(n)), gn_(static_cast<std::size_t>(n)) {
+    std::iota(gp_.begin(), gp_.end(), 0);
+    std::iota(gn_.begin(), gn_.end(), 0);
+}
+
+SequencePair::SequencePair(std::vector<int> gamma_pos,
+                           std::vector<int> gamma_neg)
+    : gp_(std::move(gamma_pos)), gn_(std::move(gamma_neg)) {
+    if (gp_.size() != gn_.size())
+        throw std::invalid_argument("SequencePair: size mismatch");
+    validate_perm(gp_);
+    validate_perm(gn_);
+}
+
+SequencePair SequencePair::from_placement(const std::vector<Rect>& rects) {
+    const int n = static_cast<int>(rects.size());
+    std::vector<int> gp(static_cast<std::size_t>(n));
+    std::vector<int> gn(static_cast<std::size_t>(n));
+    std::iota(gp.begin(), gp.end(), 0);
+    std::iota(gn.begin(), gn.end(), 0);
+    // G+ : ascending (x - y) puts left-of and above-of predecessors first;
+    // G- : ascending (x + y) puts left-of and below-of predecessors first.
+    std::sort(gp.begin(), gp.end(), [&](int a, int b) {
+        const auto ca = rects[static_cast<std::size_t>(a)].center();
+        const auto cb = rects[static_cast<std::size_t>(b)].center();
+        const double ka = ca.x - ca.y;
+        const double kb = cb.x - cb.y;
+        return ka != kb ? ka < kb : a < b;
+    });
+    std::sort(gn.begin(), gn.end(), [&](int a, int b) {
+        const auto ca = rects[static_cast<std::size_t>(a)].center();
+        const auto cb = rects[static_cast<std::size_t>(b)].center();
+        const double ka = ca.x + ca.y;
+        const double kb = cb.x + cb.y;
+        return ka != kb ? ka < kb : a < b;
+    });
+    return SequencePair(std::move(gp), std::move(gn));
+}
+
+Packing SequencePair::pack(const std::vector<BlockDim>& dims) const {
+    const int n = size();
+    if (static_cast<int>(dims.size()) != n)
+        throw std::invalid_argument("SequencePair::pack: dims size mismatch");
+
+    std::vector<int> posp(static_cast<std::size_t>(n));
+    std::vector<int> posn(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        posp[static_cast<std::size_t>(gp_[static_cast<std::size_t>(i)])] = i;
+        posn[static_cast<std::size_t>(gn_[static_cast<std::size_t>(i)])] = i;
+    }
+
+    Packing out;
+    out.positions.assign(static_cast<std::size_t>(n), Point{});
+    // Process blocks in G- order: every horizontal predecessor (before in
+    // both) and vertical predecessor (after in G+, before in G-) of a block
+    // appears earlier in G-, so a single sweep computes both longest paths.
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+    for (int idx = 0; idx < n; ++idx) {
+        const int b = gn_[static_cast<std::size_t>(idx)];
+        double bx = 0.0;
+        double by = 0.0;
+        for (int jdx = 0; jdx < idx; ++jdx) {
+            const int a = gn_[static_cast<std::size_t>(jdx)];
+            if (posp[static_cast<std::size_t>(a)] <
+                posp[static_cast<std::size_t>(b)]) {
+                // a left of b
+                bx = std::max(bx, x[static_cast<std::size_t>(a)] +
+                                      dims[static_cast<std::size_t>(a)].w);
+            } else {
+                // a below b
+                by = std::max(by, y[static_cast<std::size_t>(a)] +
+                                      dims[static_cast<std::size_t>(a)].h);
+            }
+        }
+        x[static_cast<std::size_t>(b)] = bx;
+        y[static_cast<std::size_t>(b)] = by;
+        out.positions[static_cast<std::size_t>(b)] = {bx, by};
+        out.width = std::max(out.width, bx + dims[static_cast<std::size_t>(b)].w);
+        out.height =
+            std::max(out.height, by + dims[static_cast<std::size_t>(b)].h);
+    }
+    return out;
+}
+
+void SequencePair::swap_pos(int i, int j) {
+    std::swap(gp_.at(static_cast<std::size_t>(i)),
+              gp_.at(static_cast<std::size_t>(j)));
+}
+
+void SequencePair::swap_neg(int i, int j) {
+    std::swap(gn_.at(static_cast<std::size_t>(i)),
+              gn_.at(static_cast<std::size_t>(j)));
+}
+
+void SequencePair::swap_both(int block_a, int block_b) {
+    auto swap_in = [&](std::vector<int>& seq) {
+        int ia = -1;
+        int ib = -1;
+        for (int i = 0; i < size(); ++i) {
+            if (seq[static_cast<std::size_t>(i)] == block_a) ia = i;
+            if (seq[static_cast<std::size_t>(i)] == block_b) ib = i;
+        }
+        std::swap(seq[static_cast<std::size_t>(ia)],
+                  seq[static_cast<std::size_t>(ib)]);
+    };
+    swap_in(gp_);
+    swap_in(gn_);
+}
+
+void SequencePair::reinsert(int block, int pos_in_gp, int pos_in_gn) {
+    auto move_in = [&](std::vector<int>& seq, int to) {
+        seq.erase(std::find(seq.begin(), seq.end(), block));
+        seq.insert(seq.begin() + to, block);
+    };
+    move_in(gp_, pos_in_gp);
+    move_in(gn_, pos_in_gn);
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,199 @@
+#include "sunfloor/graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sunfloor {
+
+std::vector<int> ShortestPaths::path_to(const Digraph& g, int target) const {
+    if (target < 0 || target >= static_cast<int>(dist.size()) ||
+        dist[static_cast<std::size_t>(target)] == kInfCost)
+        return {};
+    std::vector<int> verts{target};
+    int v = target;
+    while (parent_edge[static_cast<std::size_t>(v)] >= 0) {
+        v = g.edge(parent_edge[static_cast<std::size_t>(v)]).src;
+        verts.push_back(v);
+    }
+    std::reverse(verts.begin(), verts.end());
+    return verts;
+}
+
+std::vector<int> ShortestPaths::edge_path_to(const Digraph& g,
+                                             int target) const {
+    if (target < 0 || target >= static_cast<int>(dist.size()) ||
+        dist[static_cast<std::size_t>(target)] == kInfCost)
+        return {};
+    std::vector<int> edges;
+    int v = target;
+    while (parent_edge[static_cast<std::size_t>(v)] >= 0) {
+        const int e = parent_edge[static_cast<std::size_t>(v)];
+        edges.push_back(e);
+        v = g.edge(e).src;
+    }
+    std::reverse(edges.begin(), edges.end());
+    return edges;
+}
+
+ShortestPaths dijkstra(const Digraph& g, int source) {
+    const int n = g.num_vertices();
+    if (source < 0 || source >= n)
+        throw std::out_of_range("dijkstra: source out of range");
+    ShortestPaths sp;
+    sp.dist.assign(static_cast<std::size_t>(n), kInfCost);
+    sp.parent_edge.assign(static_cast<std::size_t>(n), -1);
+    sp.dist[static_cast<std::size_t>(source)] = 0.0;
+
+    using Item = std::pair<double, int>;  // (dist, vertex)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0.0, source});
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d > sp.dist[static_cast<std::size_t>(v)]) continue;  // stale
+        for (int ei : g.out_edges(v)) {
+            const auto& e = g.edge(ei);
+            if (e.weight == kInfCost) continue;  // hard-forbidden edge
+            if (e.weight < 0.0)
+                throw std::invalid_argument("dijkstra: negative edge weight");
+            const double nd = d + e.weight;
+            if (nd < sp.dist[static_cast<std::size_t>(e.dst)]) {
+                sp.dist[static_cast<std::size_t>(e.dst)] = nd;
+                sp.parent_edge[static_cast<std::size_t>(e.dst)] = ei;
+                pq.push({nd, e.dst});
+            }
+        }
+    }
+    return sp;
+}
+
+namespace {
+
+// Iterative three-colour DFS; returns true when a back edge exists.
+bool dfs_cycle(const Digraph& g) {
+    const int n = g.num_vertices();
+    enum class Color : unsigned char { White, Grey, Black };
+    std::vector<Color> color(static_cast<std::size_t>(n), Color::White);
+    // Stack of (vertex, next out-edge position).
+    std::vector<std::pair<int, std::size_t>> stack;
+    for (int s = 0; s < n; ++s) {
+        if (color[static_cast<std::size_t>(s)] != Color::White) continue;
+        stack.push_back({s, 0});
+        color[static_cast<std::size_t>(s)] = Color::Grey;
+        while (!stack.empty()) {
+            auto& [v, pos] = stack.back();
+            const auto& out = g.out_edges(v);
+            if (pos < out.size()) {
+                const int w = g.edge(out[pos++]).dst;
+                const Color cw = color[static_cast<std::size_t>(w)];
+                if (cw == Color::Grey) return true;
+                if (cw == Color::White) {
+                    color[static_cast<std::size_t>(w)] = Color::Grey;
+                    stack.push_back({w, 0});
+                }
+            } else {
+                color[static_cast<std::size_t>(v)] = Color::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+bool has_cycle(const Digraph& g) { return dfs_cycle(g); }
+
+std::optional<std::vector<int>> topological_order(const Digraph& g) {
+    const int n = g.num_vertices();
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    for (const auto& e : g.edges()) ++indeg[static_cast<std::size_t>(e.dst)];
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<int> ready;
+    for (int v = 0; v < n; ++v)
+        if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    while (!ready.empty()) {
+        const int v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (int ei : g.out_edges(v)) {
+            const int w = g.edge(ei).dst;
+            if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+        }
+    }
+    if (static_cast<int>(order.size()) != n) return std::nullopt;
+    return order;
+}
+
+std::pair<std::vector<int>, int> weak_components(const Digraph& g) {
+    const int n = g.num_vertices();
+    UnionFind uf(n);
+    for (const auto& e : g.edges()) uf.unite(e.src, e.dst);
+    std::vector<int> comp(static_cast<std::size_t>(n), -1);
+    int next = 0;
+    std::vector<int> root_to_comp(static_cast<std::size_t>(n), -1);
+    for (int v = 0; v < n; ++v) {
+        const int r = uf.find(v);
+        if (root_to_comp[static_cast<std::size_t>(r)] < 0)
+            root_to_comp[static_cast<std::size_t>(r)] = next++;
+        comp[static_cast<std::size_t>(v)] =
+            root_to_comp[static_cast<std::size_t>(r)];
+    }
+    return {comp, next};
+}
+
+bool all_reachable(const Digraph& g, int source,
+                   const std::vector<int>& targets) {
+    const int n = g.num_vertices();
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::vector<int> queue{source};
+    seen[static_cast<std::size_t>(source)] = 1;
+    while (!queue.empty()) {
+        const int v = queue.back();
+        queue.pop_back();
+        for (int ei : g.out_edges(v)) {
+            const int w = g.edge(ei).dst;
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    for (int t : targets)
+        if (!seen.at(static_cast<std::size_t>(t))) return false;
+    return true;
+}
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      rank_(static_cast<std::size_t>(n), 0),
+      sets_(n) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+int UnionFind::find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+        parent_[static_cast<std::size_t>(a)] =
+            parent_[static_cast<std::size_t>(
+                parent_[static_cast<std::size_t>(a)])];
+        a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+}
+
+bool UnionFind::unite(int a, int b) {
+    int ra = find(a);
+    int rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[static_cast<std::size_t>(ra)] < rank_[static_cast<std::size_t>(rb)])
+        std::swap(ra, rb);
+    parent_[static_cast<std::size_t>(rb)] = ra;
+    if (rank_[static_cast<std::size_t>(ra)] == rank_[static_cast<std::size_t>(rb)])
+        ++rank_[static_cast<std::size_t>(ra)];
+    --sets_;
+    return true;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,69 @@
+// Graph algorithms used by the synthesis flow:
+//  * Dijkstra shortest paths drive the flow-by-flow path computation
+//    (Section VI of the paper);
+//  * cycle detection over the channel dependency graph proves routing
+//    deadlock freedom;
+//  * connected components / reachability support sanity checks on the
+//    synthesized topologies.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sunfloor/graph/digraph.h"
+
+namespace sunfloor {
+
+/// Cost treated as unreachable; Algorithm 3's INF maps onto this.
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path run.
+struct ShortestPaths {
+    std::vector<double> dist;     ///< dist[v] == kInfCost when unreachable
+    std::vector<int> parent_edge; ///< edge used to reach v, -1 at source/unreached
+
+    /// Reconstruct the vertex sequence source..target, empty if unreachable.
+    std::vector<int> path_to(const Digraph& g, int target) const;
+
+    /// Reconstruct the edge sequence source..target, empty if unreachable
+    /// or target == source.
+    std::vector<int> edge_path_to(const Digraph& g, int target) const;
+};
+
+/// Dijkstra from `source`; negative edge weights are rejected with
+/// std::invalid_argument. Edges with weight kInfCost are skipped entirely
+/// (hard constraints from Algorithm 3).
+ShortestPaths dijkstra(const Digraph& g, int source);
+
+/// True when the directed graph contains a cycle.
+bool has_cycle(const Digraph& g);
+
+/// Topological order, empty optional when the graph is cyclic.
+std::optional<std::vector<int>> topological_order(const Digraph& g);
+
+/// Weakly connected components; returns component id per vertex and the
+/// number of components.
+std::pair<std::vector<int>, int> weak_components(const Digraph& g);
+
+/// True when every vertex in `targets` is reachable from `source` following
+/// edge direction.
+bool all_reachable(const Digraph& g, int source, const std::vector<int>& targets);
+
+/// Union-find over n elements; exposed because the partitioner and the mesh
+/// mapper both use it.
+class UnionFind {
+  public:
+    explicit UnionFind(int n);
+    int find(int a);
+    /// Returns true when a merge happened (roots differed).
+    bool unite(int a, int b);
+    int num_sets() const { return sets_; }
+
+  private:
+    std::vector<int> parent_;
+    std::vector<int> rank_;
+    int sets_;
+};
+
+}  // namespace sunfloor

@@ -1,0 +1,70 @@
+#include "sunfloor/graph/digraph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sunfloor {
+
+Digraph::Digraph(int num_vertices) {
+    if (num_vertices < 0)
+        throw std::invalid_argument("Digraph: negative vertex count");
+    adj_.resize(static_cast<std::size_t>(num_vertices));
+    radj_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+int Digraph::add_vertex() {
+    adj_.emplace_back();
+    radj_.emplace_back();
+    return num_vertices() - 1;
+}
+
+int Digraph::add_edge(int src, int dst, double weight) {
+    check_vertex(src);
+    check_vertex(dst);
+    const int e = num_edges();
+    edges_.push_back({src, dst, weight});
+    adj_[static_cast<std::size_t>(src)].push_back(e);
+    radj_[static_cast<std::size_t>(dst)].push_back(e);
+    return e;
+}
+
+int Digraph::merge_edge(int src, int dst, double weight) {
+    if (auto e = find_edge(src, dst)) {
+        edges_[static_cast<std::size_t>(*e)].weight += weight;
+        return *e;
+    }
+    return add_edge(src, dst, weight);
+}
+
+std::optional<int> Digraph::find_edge(int src, int dst) const {
+    check_vertex(src);
+    check_vertex(dst);
+    for (int e : adj_[static_cast<std::size_t>(src)])
+        if (edges_[static_cast<std::size_t>(e)].dst == dst) return e;
+    return std::nullopt;
+}
+
+double Digraph::total_weight() const {
+    double t = 0.0;
+    for (const auto& e : edges_) t += e.weight;
+    return t;
+}
+
+Digraph Digraph::reversed() const {
+    Digraph r(num_vertices());
+    for (const auto& e : edges_) r.add_edge(e.dst, e.src, e.weight);
+    return r;
+}
+
+Digraph Digraph::undirected() const {
+    std::map<std::pair<int, int>, double> acc;
+    for (const auto& e : edges_) {
+        auto key = std::minmax(e.src, e.dst);
+        acc[{key.first, key.second}] += e.weight;
+    }
+    Digraph u(num_vertices());
+    for (const auto& [key, w] : acc) u.add_edge(key.first, key.second, w);
+    return u;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,86 @@
+// A small weighted directed-graph container.
+//
+// This is the substrate under the communication graph (Definition 2 of the
+// paper), the partitioning graphs PG/SPG/LPG (Definitions 3-5), the
+// switch-level routing graph of the path computation, and the channel
+// dependency graph used for deadlock checks.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace sunfloor {
+
+/// Weighted directed graph over vertices 0..num_vertices()-1.
+/// Parallel edges are permitted (add_edge never merges); callers that need
+/// merged weights use merge_edge().
+class Digraph {
+  public:
+    struct Edge {
+        int src = 0;
+        int dst = 0;
+        double weight = 0.0;
+    };
+
+    Digraph() = default;
+    explicit Digraph(int num_vertices);
+
+    int num_vertices() const { return static_cast<int>(adj_.size()); }
+    int num_edges() const { return static_cast<int>(edges_.size()); }
+
+    /// Append a vertex, returning its index.
+    int add_vertex();
+
+    /// Append a directed edge; returns the edge index.
+    /// Throws std::out_of_range for invalid endpoints.
+    int add_edge(int src, int dst, double weight = 1.0);
+
+    /// Add `weight` onto the existing src->dst edge, creating it if absent.
+    /// Returns the edge index. Linear in out-degree(src).
+    int merge_edge(int src, int dst, double weight);
+
+    const Edge& edge(int e) const { return edges_.at(static_cast<std::size_t>(e)); }
+    Edge& edge(int e) { return edges_.at(static_cast<std::size_t>(e)); }
+
+    /// Indices of edges leaving v.
+    const std::vector<int>& out_edges(int v) const {
+        return adj_.at(static_cast<std::size_t>(v));
+    }
+    /// Indices of edges entering v.
+    const std::vector<int>& in_edges(int v) const {
+        return radj_.at(static_cast<std::size_t>(v));
+    }
+
+    int out_degree(int v) const { return static_cast<int>(out_edges(v).size()); }
+    int in_degree(int v) const { return static_cast<int>(in_edges(v).size()); }
+
+    /// Find the first edge src->dst, if any. Linear in out-degree(src).
+    std::optional<int> find_edge(int src, int dst) const;
+
+    /// Sum of weights of all edges.
+    double total_weight() const;
+
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    /// The same graph with every edge reversed.
+    Digraph reversed() const;
+
+    /// Undirected view: for every ordered pair collapse (u,v) and (v,u) into
+    /// a single u<v edge with summed weight. Used by the partitioner, which
+    /// cuts communication irrespective of direction.
+    Digraph undirected() const;
+
+  private:
+    void check_vertex(int v) const {
+        if (v < 0 || v >= num_vertices())
+            throw std::out_of_range("Digraph: vertex out of range");
+    }
+
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> adj_;   // out-edge indices per vertex
+    std::vector<std::vector<int>> radj_;  // in-edge indices per vertex
+};
+
+}  // namespace sunfloor

@@ -1,0 +1,27 @@
+// Graphviz DOT export of synthesized topologies (Figs. 13/14-style views).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor {
+
+struct DotOptions {
+    bool cluster_by_layer = true;   ///< one subgraph cluster per 3-D layer
+    bool show_bandwidth = true;     ///< label links with accumulated MB/s
+    bool include_unused = false;    ///< emit links with zero traffic
+};
+
+/// Write the topology as a DOT digraph. Cores are boxes, switches are
+/// ellipses, vertical (inter-layer) links are drawn bold.
+void write_topology_dot(std::ostream& os, const Topology& topo,
+                        const DesignSpec& spec, const DotOptions& opts = {});
+
+/// Convenience: write to file; returns false on I/O failure.
+bool save_topology_dot(const std::string& path, const Topology& topo,
+                       const DesignSpec& spec, const DotOptions& opts = {});
+
+}  // namespace sunfloor

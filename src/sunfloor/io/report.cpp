@@ -1,0 +1,68 @@
+#include "sunfloor/io/report.h"
+
+#include <ostream>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+Table design_points_table(const std::vector<DesignPoint>& points) {
+    Table t({"phase", "switches", "theta", "switch_mW", "s2s_link_mW",
+             "c2s_link_mW", "ni_mW", "total_mW", "avg_lat_cyc", "noc_area_mm2",
+             "max_ill", "valid", "fail_reason"});
+    for (const auto& p : points) {
+        t.add_row({p.phase, static_cast<long long>(p.switch_count), p.theta,
+                   p.report.power.switch_mw, p.report.power.s2s_link_mw,
+                   p.report.power.c2s_link_mw, p.report.power.ni_mw,
+                   p.report.power.total_mw(), p.report.avg_latency_cycles,
+                   p.report.noc_area_mm2(),
+                   static_cast<long long>(p.report.max_ill_used),
+                   std::string(p.valid ? "yes" : "no"), p.fail_reason});
+    }
+    return t;
+}
+
+void write_synthesis_report(std::ostream& os, const SynthesisResult& result) {
+    os << format("synthesis: %s, %d points, %d valid\n",
+                 result.phase_used.c_str(),
+                 static_cast<int>(result.points.size()), result.num_valid());
+    design_points_table(result.points).write_pretty(os);
+    const int bp = result.best_power_index();
+    if (bp >= 0) {
+        const auto& p = result.points[static_cast<std::size_t>(bp)];
+        os << format(
+            "best power point: %d switches, %.2f mW total, %.2f cycles avg "
+            "latency\n",
+            p.switch_count, p.report.power.total_mw(),
+            p.report.avg_latency_cycles);
+    }
+    const int bl = result.best_latency_index();
+    if (bl >= 0) {
+        const auto& p = result.points[static_cast<std::size_t>(bl)];
+        os << format("best latency point: %d switches, %.2f cycles avg\n",
+                     p.switch_count, p.report.avg_latency_cycles);
+    }
+    os << "pareto front (switch counts):";
+    for (int i : result.pareto_indices())
+        os << format(" %d",
+                     result.points[static_cast<std::size_t>(i)].switch_count);
+    os << "\n";
+}
+
+Table wirelength_histogram(const std::vector<double>& lengths_mm,
+                           double bin_mm, int num_bins) {
+    Table t({"bin_lo_mm", "bin_hi_mm", "count"});
+    std::vector<long long> counts(static_cast<std::size_t>(num_bins), 0);
+    for (double len : lengths_mm) {
+        int b = static_cast<int>(len / bin_mm);
+        if (b >= num_bins) b = num_bins - 1;
+        if (b < 0) b = 0;
+        ++counts[static_cast<std::size_t>(b)];
+    }
+    for (int b = 0; b < num_bins; ++b)
+        t.add_row({b * bin_mm, (b + 1) * bin_mm,
+                   counts[static_cast<std::size_t>(b)]});
+    return t;
+}
+
+}  // namespace sunfloor

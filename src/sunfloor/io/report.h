@@ -1,0 +1,24 @@
+// Human-readable summaries of synthesis results.
+#pragma once
+
+#include <iosfwd>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/util/csv.h"
+
+namespace sunfloor {
+
+/// One row per design point: phase, switch count, theta, power split,
+/// latency, area, inter-layer links, validity.
+Table design_points_table(const std::vector<DesignPoint>& points);
+
+/// Print a synthesis run: the table above plus the best-power /
+/// best-latency points and the Pareto front.
+void write_synthesis_report(std::ostream& os, const SynthesisResult& result);
+
+/// Wire-length histogram (Fig. 12): counts of links whose planar length
+/// falls in [i*bin_mm, (i+1)*bin_mm).
+Table wirelength_histogram(const std::vector<double>& lengths_mm,
+                           double bin_mm, int num_bins);
+
+}  // namespace sunfloor

@@ -1,0 +1,207 @@
+#include "sunfloor/lp/placement_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sunfloor/lp/simplex.h"
+
+namespace sunfloor {
+
+double placement_cost(const PlacementProblem& p,
+                      const std::vector<Point>& positions) {
+    double cost = 0.0;
+    for (const auto& c : p.fixed_conns)
+        cost += c.weight *
+                manhattan(positions.at(static_cast<std::size_t>(c.movable)),
+                          p.fixed_points.at(static_cast<std::size_t>(c.fixed)));
+    for (const auto& c : p.movable_conns)
+        cost += c.weight *
+                manhattan(positions.at(static_cast<std::size_t>(c.a)),
+                          positions.at(static_cast<std::size_t>(c.b)));
+    return cost;
+}
+
+namespace {
+
+void validate(const PlacementProblem& p) {
+    for (const auto& c : p.fixed_conns) {
+        if (c.movable < 0 || c.movable >= p.num_movable ||
+            c.fixed < 0 || c.fixed >= static_cast<int>(p.fixed_points.size()))
+            throw std::out_of_range("PlacementProblem: bad fixed connection");
+        if (c.weight < 0.0)
+            throw std::invalid_argument("PlacementProblem: negative weight");
+    }
+    for (const auto& c : p.movable_conns) {
+        if (c.a < 0 || c.a >= p.num_movable || c.b < 0 ||
+            c.b >= p.num_movable)
+            throw std::out_of_range("PlacementProblem: bad movable connection");
+        if (c.weight < 0.0)
+            throw std::invalid_argument("PlacementProblem: negative weight");
+    }
+}
+
+// Solve one axis. `fixed_coord(k)` yields the fixed point's coordinate on
+// this axis; lo/hi bound the movable coordinates (hi < lo disables).
+std::vector<double> solve_axis(const PlacementProblem& p, bool x_axis,
+                               double lo, double hi, bool& ok) {
+    LpProblem lp;
+    std::vector<int> pos(static_cast<std::size_t>(p.num_movable));
+    for (int i = 0; i < p.num_movable; ++i)
+        pos[static_cast<std::size_t>(i)] = lp.add_variable(0.0);
+
+    auto fixed_coord = [&](int k) {
+        const auto& pt = p.fixed_points[static_cast<std::size_t>(k)];
+        return x_axis ? pt.x : pt.y;
+    };
+
+    for (const auto& c : p.fixed_conns) {
+        const int d = lp.add_variable(c.weight);
+        const int v = pos[static_cast<std::size_t>(c.movable)];
+        const double fc = fixed_coord(c.fixed);
+        // d >= v - fc  and  d >= fc - v
+        lp.add_constraint({{v, 1.0}, {d, -1.0}}, Relation::LessEq, fc);
+        lp.add_constraint({{v, 1.0}, {d, 1.0}}, Relation::GreaterEq, fc);
+    }
+    for (const auto& c : p.movable_conns) {
+        const int d = lp.add_variable(c.weight);
+        const int va = pos[static_cast<std::size_t>(c.a)];
+        const int vb = pos[static_cast<std::size_t>(c.b)];
+        // d >= va - vb  and  d >= vb - va
+        lp.add_constraint({{va, 1.0}, {vb, -1.0}, {d, -1.0}},
+                          Relation::LessEq, 0.0);
+        lp.add_constraint({{vb, 1.0}, {va, -1.0}, {d, -1.0}},
+                          Relation::LessEq, 0.0);
+    }
+    if (hi >= lo) {
+        for (int i = 0; i < p.num_movable; ++i) {
+            lp.add_constraint({{pos[static_cast<std::size_t>(i)], 1.0}},
+                              Relation::GreaterEq, lo);
+            lp.add_constraint({{pos[static_cast<std::size_t>(i)], 1.0}},
+                              Relation::LessEq, hi);
+        }
+    }
+
+    const LpResult res = solve_lp(lp);
+    ok = ok && res.status == LpStatus::Optimal;
+    std::vector<double> out(static_cast<std::size_t>(p.num_movable), 0.0);
+    if (res.status == LpStatus::Optimal)
+        for (int i = 0; i < p.num_movable; ++i)
+            out[static_cast<std::size_t>(i)] =
+                res.x[static_cast<std::size_t>(pos[static_cast<std::size_t>(i)])];
+    return out;
+}
+
+}  // namespace
+
+PlacementResult solve_placement_lp(const PlacementProblem& p) {
+    validate(p);
+    PlacementResult r;
+    r.ok = true;
+    const bool bounded = p.bounds.w > 0.0 && p.bounds.h > 0.0;
+    const auto xs =
+        solve_axis(p, true, bounded ? p.bounds.x : 0.0,
+                   bounded ? p.bounds.right() : -1.0, r.ok);
+    const auto ys =
+        solve_axis(p, false, bounded ? p.bounds.y : 0.0,
+                   bounded ? p.bounds.top() : -1.0, r.ok);
+    r.positions.resize(static_cast<std::size_t>(p.num_movable));
+    for (int i = 0; i < p.num_movable; ++i)
+        r.positions[static_cast<std::size_t>(i)] = {
+            xs[static_cast<std::size_t>(i)], ys[static_cast<std::size_t>(i)]};
+    r.cost = placement_cost(p, r.positions);
+    return r;
+}
+
+namespace {
+
+// Weighted median of (coordinate, weight) samples: the smallest coordinate
+// at which the cumulative weight reaches half the total.
+double weighted_median(std::vector<std::pair<double, double>>& samples) {
+    std::sort(samples.begin(), samples.end());
+    double total = 0.0;
+    for (const auto& s : samples) total += s.second;
+    if (total <= 0.0) return samples.empty() ? 0.0 : samples.front().first;
+    double acc = 0.0;
+    for (const auto& s : samples) {
+        acc += s.second;
+        if (acc >= total / 2.0) return s.first;
+    }
+    return samples.back().first;
+}
+
+}  // namespace
+
+PlacementResult solve_placement_median(const PlacementProblem& p, int sweeps) {
+    validate(p);
+    PlacementResult r;
+    r.positions.assign(static_cast<std::size_t>(p.num_movable), Point{});
+
+    // Initialize each movable at the centroid of its fixed neighbours so
+    // unanchored descent still starts somewhere sensible.
+    std::vector<double> wsum(static_cast<std::size_t>(p.num_movable), 0.0);
+    for (const auto& c : p.fixed_conns) {
+        auto& pt = r.positions[static_cast<std::size_t>(c.movable)];
+        const auto& f = p.fixed_points[static_cast<std::size_t>(c.fixed)];
+        const double w = std::max(c.weight, 1e-12);
+        pt.x += f.x * w;
+        pt.y += f.y * w;
+        wsum[static_cast<std::size_t>(c.movable)] += w;
+    }
+    for (int i = 0; i < p.num_movable; ++i) {
+        if (wsum[static_cast<std::size_t>(i)] > 0.0) {
+            r.positions[static_cast<std::size_t>(i)].x /=
+                wsum[static_cast<std::size_t>(i)];
+            r.positions[static_cast<std::size_t>(i)].y /=
+                wsum[static_cast<std::size_t>(i)];
+        }
+    }
+
+    const bool bounded = p.bounds.w > 0.0 && p.bounds.h > 0.0;
+    double prev = placement_cost(p, r.positions);
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+        for (int i = 0; i < p.num_movable; ++i) {
+            std::vector<std::pair<double, double>> sx;
+            std::vector<std::pair<double, double>> sy;
+            for (const auto& c : p.fixed_conns) {
+                if (c.movable != i) continue;
+                const auto& f = p.fixed_points[static_cast<std::size_t>(c.fixed)];
+                sx.push_back({f.x, c.weight});
+                sy.push_back({f.y, c.weight});
+            }
+            for (const auto& c : p.movable_conns) {
+                int other = -1;
+                if (c.a == i)
+                    other = c.b;
+                else if (c.b == i)
+                    other = c.a;
+                if (other < 0 || other == i) continue;
+                const auto& o = r.positions[static_cast<std::size_t>(other)];
+                sx.push_back({o.x, c.weight});
+                sy.push_back({o.y, c.weight});
+            }
+            if (sx.empty()) continue;
+            auto& pt = r.positions[static_cast<std::size_t>(i)];
+            pt.x = weighted_median(sx);
+            pt.y = weighted_median(sy);
+            if (bounded) {
+                pt.x = clamp(pt.x, p.bounds.x, p.bounds.right());
+                pt.y = clamp(pt.y, p.bounds.y, p.bounds.top());
+            } else {
+                pt.x = std::max(0.0, pt.x);
+                pt.y = std::max(0.0, pt.y);
+            }
+        }
+        const double cost = placement_cost(p, r.positions);
+        if (cost >= prev - 1e-12) {
+            prev = cost;
+            break;
+        }
+        prev = cost;
+    }
+    r.cost = prev;
+    r.ok = true;
+    return r;
+}
+
+}  // namespace sunfloor

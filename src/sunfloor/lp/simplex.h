@@ -1,0 +1,28 @@
+// Dense two-phase primal simplex.
+//
+// This is the in-repo replacement for lp_solve [37] used by the paper's
+// switch-position step. Problem sizes in this tool are modest (a few
+// hundred variables and constraints for 65-core designs), so a dense
+// tableau with Dantzig pricing and a Bland anti-cycling fallback is both
+// fast enough (milliseconds) and easy to audit.
+#pragma once
+
+#include "sunfloor/lp/model.h"
+
+namespace sunfloor {
+
+struct SimplexOptions {
+    /// Hard cap on pivot steps per phase.
+    int max_iterations = 20000;
+    /// Switch from Dantzig to Bland's rule after this many pivots to
+    /// guarantee termination under degeneracy.
+    int bland_after = 5000;
+    /// Numerical tolerance for reduced costs / feasibility.
+    double tol = 1e-9;
+};
+
+/// Solve `min c^T x  s.t. constraints, x >= 0`. The returned x has one entry
+/// per LpProblem variable.
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts = {});
+
+}  // namespace sunfloor

@@ -1,0 +1,35 @@
+#include "sunfloor/model/wire.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sunfloor {
+
+double WireModel::delay_ns(double length_mm) const {
+    return p_.delay_ns_per_mm * std::max(0.0, length_mm);
+}
+
+int WireModel::pipeline_stages(double length_mm, double freq_hz) const {
+    if (length_mm <= 0.0) return 1;
+    const double period_ns = 1e9 / freq_hz;
+    const int stages =
+        static_cast<int>(std::ceil(delay_ns(length_mm) / period_ns));
+    return std::max(1, stages);
+}
+
+double WireModel::power_mw(double length_mm, double flits_per_s,
+                           double freq_hz,
+                           double energy_pj_per_flit_mm) const {
+    const double len = std::max(0.0, length_mm);
+    const double dynamic_mw = flits_per_s * energy_pj_per_flit_mm * len * 1e-9;
+    const double idle_mw = p_.idle_mw_per_mm_ghz * len * freq_hz / 1e9;
+    return dynamic_mw + idle_mw;
+}
+
+double WireModel::power_mw(double length_mm, double flits_per_s,
+                           double freq_hz) const {
+    return power_mw(length_mm, flits_per_s, freq_hz,
+                    p_.energy_pj_per_flit_mm);
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,50 @@
+// Planar (intra-layer) wire model.
+//
+// Calibrated to the 65 nm figures cited in Section VIII: the maximum
+// unrepeated link length in Metal 2/3 is 1.5 mm; longer links are pipelined
+// to sustain full throughput (Section VII). Energy is linear in length and
+// in flits transported.
+#pragma once
+
+namespace sunfloor {
+
+struct WireParams {
+    /// Signal propagation delay of a repeated global wire (ns per mm).
+    double delay_ns_per_mm = 0.55;
+    /// Dynamic energy of moving one 32-bit flit across one mm of link
+    /// (~0.125 pJ/bit/mm: repeated global wire, 65 nm low power, moderate
+    /// switching activity).
+    double energy_pj_per_flit_mm = 4.0;
+    /// Static power of link drivers/repeaters per mm at 1 GHz.
+    double idle_mw_per_mm_ghz = 0.05;
+    /// Longest link that needs no repeater/pipeline stage (mm).
+    double max_unrepeated_mm = 1.5;
+};
+
+/// Planar link power/delay model.
+class WireModel {
+  public:
+    WireModel() = default;
+    explicit WireModel(const WireParams& params) : p_(params) {}
+
+    const WireParams& params() const { return p_; }
+
+    /// End-to-end propagation delay (ns).
+    double delay_ns(double length_mm) const;
+
+    /// Number of clocked pipeline stages the link occupies at `freq_hz`,
+    /// i.e. the cycles a flit spends on the wire. Always >= 1; the paper
+    /// pipelines long links "to support full throughput".
+    int pipeline_stages(double length_mm, double freq_hz) const;
+
+    /// Power of a link of `length_mm` carrying `flits_per_s` (mW).
+    double power_mw(double length_mm, double flits_per_s, double freq_hz,
+                    double energy_pj_per_flit_mm) const;
+    double power_mw(double length_mm, double flits_per_s,
+                    double freq_hz) const;
+
+  private:
+    WireParams p_{};
+};
+
+}  // namespace sunfloor

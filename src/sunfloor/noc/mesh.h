@@ -1,0 +1,46 @@
+// Optimized mesh baseline (Section VIII-E).
+//
+// The paper compares its custom topologies against "the best mapping
+// (optimizing for power, meeting the latency constraints) of the cores
+// onto a mesh topology, with any unused switch-to-switch links removed".
+// This module builds that baseline:
+//   * one switch per mesh tile, a per-layer grid shared by all layers so
+//     vertical links align;
+//   * cores are mapped to tiles of their own layer by simulated annealing
+//     minimizing bandwidth-weighted hop count with a latency penalty;
+//   * flows are routed X-then-Y-then-Z (dimension-ordered, deadlock-free);
+//   * switches and links never touched by a flow are dropped before the
+//     topology is evaluated.
+#pragma once
+
+#include "sunfloor/noc/evaluation.h"
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/spec/parser.h"
+#include "sunfloor/util/rng.h"
+
+namespace sunfloor {
+
+struct MeshOptions {
+    /// SA moves per temperature step; <=0 picks 16 * num_cores.
+    int moves_per_temp = 0;
+    double t_initial_ratio = 0.05;  ///< T0 = ratio * initial cost
+    double cooling = 0.92;
+    double t_final_ratio = 1e-4;
+    /// Cost penalty per cycle of latency-constraint violation, as a
+    /// multiple of the design's total bandwidth.
+    double latency_penalty = 10.0;
+};
+
+struct MeshResult {
+    Topology topo;       ///< pruned mesh with routed flows
+    int grid_w = 0;      ///< tiles per row
+    int grid_h = 0;      ///< tiles per column
+    double map_cost = 0.0;
+    bool ok = false;     ///< all flows routed
+};
+
+/// Build, map and route the optimized-mesh baseline for a design.
+MeshResult build_mesh_baseline(const DesignSpec& spec, const EvalParams& eval,
+                               Rng& rng, const MeshOptions& opts = {});
+
+}  // namespace sunfloor

@@ -1,0 +1,57 @@
+// The SoC benchmarks of Section VIII, rebuilt programmatically.
+//
+// The paper's benchmarks are proprietary; the generators below follow every
+// structural property the paper states:
+//   * D_26_media  — 26 irregular cores (ARM, DSPs, memory banks, DMA,
+//                   peripherals) doing base-band + multimedia processing,
+//                   manually mapped onto 3 layers with highly communicating
+//                   cores stacked above one another (Fig. 9/16).
+//   * D_36_4/6/8  — 18 processors + 18 memories; each processor talks to
+//                   4/6/8 memories; the total bandwidth is identical across
+//                   the three variants.
+//   * D_35_bot    — bottleneck traffic: 16 processors, 16 private memories
+//                   (one per processor) and 3 shared memories all
+//                   processors hit.
+//   * D_65_pipe   — 65 cores communicating in a pipeline.
+//   * D_38_tvopd  — 38 cores, extended TV object-plane-decoder style
+//                   pipeline with parallel branches.
+//
+// Every generator returns a deterministic DesignSpec with a legal (row
+// packed) initial placement per layer; benches refine the placement with
+// the simulated-annealing floorplanner to mimic the paper's use of an
+// existing floorplanning tool [38] for the input positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor {
+
+DesignSpec make_d26_media();
+
+/// flows_per_proc must be 4, 6 or 8 (D_36_4 / D_36_6 / D_36_8).
+DesignSpec make_d36(int flows_per_proc);
+
+DesignSpec make_d35_bot();
+DesignSpec make_d65_pipe();
+DesignSpec make_d38_tvopd();
+
+/// All benchmark names, in the order the paper's tables list them.
+std::vector<std::string> benchmark_names();
+
+/// Build a benchmark by name ("D_26_media", "D_36_4", ...). Throws
+/// std::invalid_argument for unknown names.
+DesignSpec make_benchmark(const std::string& name);
+
+/// Legal deterministic placement: pack the cores of each layer into rows
+/// whose total width approximates a square die. Used as the default
+/// placement inside the generators and directly by tests.
+void assign_positions_rowpack(CoreSpec& cores);
+
+/// Re-assign every core to layer 0 and re-pack. The 2-D comparison design
+/// of Section VIII-C.
+DesignSpec to_2d(const DesignSpec& spec);
+
+}  // namespace sunfloor

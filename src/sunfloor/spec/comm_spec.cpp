@@ -1,0 +1,61 @@
+#include "sunfloor/spec/comm_spec.h"
+
+#include <stdexcept>
+
+namespace sunfloor {
+
+int CommSpec::add_flow(Flow flow) {
+    if (flow.bw_mbps < 0.0)
+        throw std::invalid_argument("CommSpec: negative bandwidth");
+    if (flow.src == flow.dst)
+        throw std::invalid_argument("CommSpec: flow src == dst");
+    if (flow.src < 0 || flow.dst < 0)
+        throw std::invalid_argument("CommSpec: negative core id");
+    flows_.push_back(flow);
+    return num_flows() - 1;
+}
+
+double CommSpec::max_bw() const {
+    double m = 0.0;
+    for (const auto& f : flows_) m = std::max(m, f.bw_mbps);
+    return m;
+}
+
+double CommSpec::min_lat() const {
+    double m = 0.0;
+    for (const auto& f : flows_)
+        if (f.max_latency_cycles > 0.0 &&
+            (m == 0.0 || f.max_latency_cycles < m))
+            m = f.max_latency_cycles;
+    return m;
+}
+
+double CommSpec::total_bw() const {
+    double t = 0.0;
+    for (const auto& f : flows_) t += f.bw_mbps;
+    return t;
+}
+
+Digraph CommSpec::communication_graph(int num_cores) const {
+    Digraph g(num_cores);
+    for (const auto& f : flows_) {
+        if (f.src >= num_cores || f.dst >= num_cores)
+            throw std::out_of_range("CommSpec: flow references unknown core");
+        g.merge_edge(f.src, f.dst, f.bw_mbps);
+    }
+    return g;
+}
+
+std::vector<int> CommSpec::inter_layer_flows(
+    const std::vector<int>& layer) const {
+    std::vector<int> out;
+    for (int i = 0; i < num_flows(); ++i) {
+        const auto& f = flows_[static_cast<std::size_t>(i)];
+        if (layer.at(static_cast<std::size_t>(f.src)) !=
+            layer.at(static_cast<std::size_t>(f.dst)))
+            out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,128 @@
+#include "sunfloor/spec/parser.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+namespace {
+
+std::string line_error(int line_no, const std::string& msg) {
+    return format("line %d: %s", line_no, msg.c_str());
+}
+
+}  // namespace
+
+ParseResult parse_design(std::istream& is, const std::string& name) {
+    ParseResult result;
+    result.spec.name = name;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        const auto tokens = split_ws(line);
+        if (tokens.empty()) continue;
+
+        if (tokens[0] == "core") {
+            if (tokens.size() != 7) {
+                result.error = line_error(
+                    line_no, "core needs: name w h x y layer");
+                return result;
+            }
+            Core c;
+            c.name = tokens[1];
+            int layer = 0;
+            if (!parse_double(tokens[2], c.width) ||
+                !parse_double(tokens[3], c.height) ||
+                !parse_double(tokens[4], c.position.x) ||
+                !parse_double(tokens[5], c.position.y) ||
+                !parse_int(tokens[6], layer)) {
+                result.error = line_error(line_no, "malformed core fields");
+                return result;
+            }
+            c.layer = layer;
+            try {
+                result.spec.cores.add_core(std::move(c));
+            } catch (const std::exception& e) {
+                result.error = line_error(line_no, e.what());
+                return result;
+            }
+        } else if (tokens[0] == "flow") {
+            if (tokens.size() != 6) {
+                result.error = line_error(
+                    line_no, "flow needs: src dst bw lat req|rsp");
+                return result;
+            }
+            Flow f;
+            f.src = result.spec.cores.find(tokens[1]);
+            f.dst = result.spec.cores.find(tokens[2]);
+            if (f.src < 0 || f.dst < 0) {
+                result.error = line_error(
+                    line_no, "flow references undeclared core");
+                return result;
+            }
+            if (!parse_double(tokens[3], f.bw_mbps) ||
+                !parse_double(tokens[4], f.max_latency_cycles)) {
+                result.error = line_error(line_no, "malformed flow fields");
+                return result;
+            }
+            if (tokens[5] == "req")
+                f.type = FlowType::Request;
+            else if (tokens[5] == "rsp")
+                f.type = FlowType::Response;
+            else {
+                result.error =
+                    line_error(line_no, "flow type must be req or rsp");
+                return result;
+            }
+            try {
+                result.spec.comm.add_flow(f);
+            } catch (const std::exception& e) {
+                result.error = line_error(line_no, e.what());
+                return result;
+            }
+        } else {
+            result.error =
+                line_error(line_no, "unknown directive '" + tokens[0] + "'");
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+ParseResult parse_design_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) {
+        ParseResult r;
+        r.error = "cannot open " + path;
+        return r;
+    }
+    // Derive a design name from the file name.
+    auto slash = path.find_last_of('/');
+    std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+    const auto dot = name.find_last_of('.');
+    if (dot != std::string::npos) name.resize(dot);
+    return parse_design(f, name);
+}
+
+void write_design(std::ostream& os, const DesignSpec& spec) {
+    os << "# design: " << spec.name << "\n";
+    for (const auto& c : spec.cores.cores())
+        os << format("core %s %.6g %.6g %.6g %.6g %d\n", c.name.c_str(),
+                     c.width, c.height, c.position.x, c.position.y, c.layer);
+    for (const auto& f : spec.comm.flows())
+        os << format("flow %s %s %.6g %.6g %s\n",
+                     spec.cores.core(f.src).name.c_str(),
+                     spec.cores.core(f.dst).name.c_str(), f.bw_mbps,
+                     f.max_latency_cycles,
+                     f.type == FlowType::Request ? "req" : "rsp");
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,175 @@
+// sunfloor_cli — command-line front end of the SunFloor 3D tool.
+//
+// Usage:
+//   sunfloor_cli --design <file> [options]         # Section IV input file
+//   sunfloor_cli --benchmark <name> [options]      # built-in benchmark
+//
+// Options:
+//   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
+//   --max-ill <n>             inter-layer link budget    (default 25)
+//   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
+//   --phase <auto|1|2>        synthesis phase            (default auto)
+//   --seed <n>                RNG seed                   (default fixed)
+//   --no-floorplan            skip NoC insertion legalization
+//   --out <prefix>            write <prefix>_topology.dot,
+//                             <prefix>_layer<k>.svg, <prefix>_points.csv
+//   --list-benchmarks         print built-in benchmark names and exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/floorplan/annealer.h"
+#include "sunfloor/io/dot.h"
+#include "sunfloor/io/floorplan_dump.h"
+#include "sunfloor/io/report.h"
+#include "sunfloor/spec/benchmarks.h"
+#include "sunfloor/util/strings.h"
+
+using namespace sunfloor;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s (--design <file> | --benchmark <name>) "
+                 "[--freq MHz[,MHz...]] [--max-ill N] [--alpha A] "
+                 "[--phase auto|1|2] [--seed N] [--no-floorplan] "
+                 "[--out prefix] [--list-benchmarks]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string design_file;
+    std::string benchmark;
+    std::string out_prefix;
+    std::vector<double> freqs_hz{400e6};
+    SynthesisConfig cfg;
+    SynthesisPhase phase = SynthesisPhase::Auto;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--list-benchmarks") {
+            for (const auto& n : benchmark_names()) std::puts(n.c_str());
+            return 0;
+        }
+        if (arg == "--design") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            design_file = v;
+        } else if (arg == "--benchmark") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            benchmark = v;
+        } else if (arg == "--freq") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            freqs_hz.clear();
+            for (const auto& part : split(v, ',')) {
+                double mhz = 0.0;
+                if (!parse_double(part, mhz) || mhz <= 0.0) {
+                    std::fprintf(stderr, "bad --freq value '%s'\n",
+                                 part.c_str());
+                    return 2;
+                }
+                freqs_hz.push_back(mhz * 1e6);
+            }
+        } else if (arg == "--max-ill") {
+            const char* v = next();
+            if (!v || !parse_int(v, cfg.max_ill)) return usage(argv[0]);
+        } else if (arg == "--alpha") {
+            const char* v = next();
+            if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
+        } else if (arg == "--phase") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            const std::string p = v;
+            if (p == "auto")
+                phase = SynthesisPhase::Auto;
+            else if (p == "1")
+                phase = SynthesisPhase::Phase1;
+            else if (p == "2")
+                phase = SynthesisPhase::Phase2;
+            else
+                return usage(argv[0]);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            int seed = 0;
+            if (!v || !parse_int(v, seed)) return usage(argv[0]);
+            cfg.seed = static_cast<std::uint64_t>(seed);
+        } else if (arg == "--no-floorplan") {
+            cfg.run_floorplan = false;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            out_prefix = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+
+    DesignSpec spec;
+    if (!design_file.empty()) {
+        const ParseResult parsed = parse_design_file(design_file);
+        if (!parsed.ok) {
+            std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+            return 1;
+        }
+        spec = parsed.spec;
+    } else {
+        try {
+            spec = make_benchmark(benchmark);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        AnnealOptions fopts;
+        fopts.wirelength_weight = 5e-4;
+        Rng rng(42);
+        floorplan_design_layers(spec.cores, spec.comm, fopts, rng);
+    }
+    std::printf("design '%s': %d cores, %d layers, %d flows\n",
+                spec.name.c_str(), spec.cores.num_cores(),
+                spec.cores.num_layers(), spec.comm.num_flows());
+
+    Synthesizer synth(spec, cfg);
+    const auto sweep = synth.run_frequency_sweep(freqs_hz, phase);
+    for (const auto& fp : sweep) {
+        std::printf("\n=== %.0f MHz ===\n", fp.freq_hz / 1e6);
+        write_synthesis_report(std::cout, fp.result);
+    }
+    const auto [fi, pi] = best_power_over_sweep(sweep);
+    if (fi < 0) {
+        std::fprintf(stderr, "no valid design point at any frequency\n");
+        return 1;
+    }
+    const auto& bp = sweep[static_cast<std::size_t>(fi)]
+                         .result.points[static_cast<std::size_t>(pi)];
+    std::printf(
+        "\noverall best: %.0f MHz, %d switches, %.2f mW NoC power, "
+        "%.2f cycles\n",
+        sweep[static_cast<std::size_t>(fi)].freq_hz / 1e6, bp.switch_count,
+        bp.report.power.noc_mw(), bp.report.avg_latency_cycles);
+
+    if (!out_prefix.empty()) {
+        save_topology_dot(out_prefix + "_topology.dot", bp.topo, spec);
+        for (int ly = 0; ly < spec.cores.num_layers(); ++ly)
+            save_layer_svg(out_prefix + "_layer" + std::to_string(ly) + ".svg",
+                           bp.topo, spec, ly);
+        design_points_table(sweep[static_cast<std::size_t>(fi)].result.points)
+            .save_csv(out_prefix + "_points.csv");
+        std::printf("wrote %s_topology.dot, %s_layer*.svg, %s_points.csv\n",
+                    out_prefix.c_str(), out_prefix.c_str(),
+                    out_prefix.c_str());
+    }
+    return 0;
+}

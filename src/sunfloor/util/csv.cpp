@@ -1,0 +1,97 @@
+#include "sunfloor/util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+    if (columns_.empty())
+        throw std::invalid_argument("Table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+    if (row.size() != columns_.size())
+        throw std::invalid_argument(
+            format("row arity %zu != column count %zu", row.size(),
+                   columns_.size()));
+    rows_.push_back(std::move(row));
+}
+
+std::string cell_to_string(const Cell& c) {
+    if (const auto* s = std::get_if<std::string>(&c)) return *s;
+    if (const auto* i = std::get_if<long long>(&c))
+        return std::to_string(*i);
+    return format("%.4g", std::get<double>(c));
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "," : "") << csv_escape(columns_[c]);
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csv_escape(cell_to_string(row[c]));
+        os << '\n';
+    }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            r.push_back(cell_to_string(row[c]));
+            widths[c] = std::max(widths[c], r.back().size());
+        }
+        rendered.push_back(std::move(r));
+    }
+    auto pad = [&](const std::string& s, std::size_t w) {
+        std::string out = s;
+        out.resize(w, ' ');
+        return out;
+    };
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "  " : "") << pad(columns_[c], widths[c]);
+    os << '\n';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "  " : "") << std::string(widths[c], '-');
+    os << '\n';
+    for (const auto& r : rendered) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            os << (c ? "  " : "") << pad(r[c], widths[c]);
+        os << '\n';
+    }
+}
+
+bool Table::save_csv(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    write_csv(f);
+    return static_cast<bool>(f);
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,47 @@
+// CSV / aligned-table emitters used by the benchmark harness to print the
+// same rows and series the paper's figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sunfloor {
+
+/// One cell of a result table: text, integer, or floating point.
+using Cell = std::variant<std::string, long long, double>;
+
+/// A simple result table with a header row. Rows must have exactly as many
+/// cells as there are columns; `add_row` checks this.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    /// Append one row. Throws std::invalid_argument on arity mismatch.
+    void add_row(std::vector<Cell> row);
+
+    std::size_t num_rows() const { return rows_.size(); }
+    std::size_t num_cols() const { return columns_.size(); }
+    const std::vector<std::string>& columns() const { return columns_; }
+    const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+    /// Write as comma-separated values (cells containing commas or quotes
+    /// are quoted per RFC 4180).
+    void write_csv(std::ostream& os) const;
+
+    /// Write as a human-readable aligned table (what the benches print).
+    void write_pretty(std::ostream& os) const;
+
+    /// Convenience: write_csv into a file. Returns false on I/O error.
+    bool save_csv(const std::string& path) const;
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> rows_;
+};
+
+/// Render one cell to text (doubles use %.4g).
+std::string cell_to_string(const Cell& c);
+
+}  // namespace sunfloor

@@ -1,0 +1,32 @@
+// Small string helpers used by the spec parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sunfloor {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter; empty fields are kept. split("a,,b", ',') ->
+/// {"a", "", "b"}.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; no empty fields are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a double, returning false on malformed input instead of throwing.
+bool parse_double(std::string_view s, double& out);
+
+/// Parse an integer, returning false on malformed input.
+bool parse_int(std::string_view s, int& out);
+
+}  // namespace sunfloor

@@ -1,0 +1,181 @@
+// Unit tests for the digraph container and graph algorithms.
+#include <gtest/gtest.h>
+
+#include "sunfloor/graph/algorithms.h"
+#include "sunfloor/graph/digraph.h"
+#include "sunfloor/util/rng.h"
+
+namespace sunfloor {
+namespace {
+
+TEST(Digraph, AddVerticesAndEdges) {
+    Digraph g(3);
+    EXPECT_EQ(g.num_vertices(), 3);
+    EXPECT_EQ(g.add_vertex(), 3);
+    const int e = g.add_edge(0, 3, 2.5);
+    EXPECT_EQ(g.edge(e).src, 0);
+    EXPECT_EQ(g.edge(e).dst, 3);
+    EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.5);
+    EXPECT_EQ(g.out_degree(0), 1);
+    EXPECT_EQ(g.in_degree(3), 1);
+    EXPECT_THROW(g.add_edge(0, 99), std::out_of_range);
+}
+
+TEST(Digraph, MergeEdgeAccumulates) {
+    Digraph g(2);
+    g.merge_edge(0, 1, 1.0);
+    g.merge_edge(0, 1, 2.0);
+    EXPECT_EQ(g.num_edges(), 1);
+    EXPECT_DOUBLE_EQ(g.edge(0).weight, 3.0);
+    g.add_edge(0, 1, 5.0);  // explicit parallel edge allowed
+    EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Digraph, FindEdgeAndTotalWeight) {
+    Digraph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    EXPECT_TRUE(g.find_edge(0, 1).has_value());
+    EXPECT_FALSE(g.find_edge(1, 0).has_value());
+    EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
+TEST(Digraph, ReversedAndUndirected) {
+    Digraph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 0, 2.0);
+    g.add_edge(1, 2, 4.0);
+    const Digraph r = g.reversed();
+    EXPECT_TRUE(r.find_edge(1, 0).has_value());
+    EXPECT_TRUE(r.find_edge(2, 1).has_value());
+    const Digraph u = g.undirected();
+    EXPECT_EQ(u.num_edges(), 2);  // (0,1) merged, (1,2)
+    EXPECT_DOUBLE_EQ(u.edge(*u.find_edge(0, 1)).weight, 3.0);
+}
+
+TEST(Dijkstra, ShortestPathBasic) {
+    Digraph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(0, 2, 5.0);
+    g.add_edge(2, 3, 1.0);
+    const auto sp = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(sp.dist[2], 2.0);
+    EXPECT_DOUBLE_EQ(sp.dist[3], 3.0);
+    const auto path = sp.path_to(g, 3);
+    EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3}));
+    const auto epath = sp.edge_path_to(g, 3);
+    ASSERT_EQ(epath.size(), 3u);
+    EXPECT_EQ(g.edge(epath[0]).src, 0);
+    EXPECT_EQ(g.edge(epath[2]).dst, 3);
+}
+
+TEST(Dijkstra, UnreachableAndInfEdges) {
+    Digraph g(3);
+    g.add_edge(0, 1, kInfCost);  // hard-forbidden edge is skipped
+    const auto sp = dijkstra(g, 0);
+    EXPECT_EQ(sp.dist[1], kInfCost);
+    EXPECT_TRUE(sp.path_to(g, 1).empty());
+}
+
+TEST(Dijkstra, NegativeWeightRejected) {
+    Digraph g(2);
+    g.add_edge(0, 1, -1.0);
+    EXPECT_THROW(dijkstra(g, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, MatchesBruteForceOnRandomGraphs) {
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 8;
+        Digraph g(n);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j)
+                if (i != j && rng.next_bool(0.4))
+                    g.add_edge(i, j, 1.0 + rng.next_double() * 9.0);
+        const auto sp = dijkstra(g, 0);
+        // Bellman-Ford as oracle.
+        std::vector<double> dist(n, kInfCost);
+        dist[0] = 0.0;
+        for (int it = 0; it < n; ++it)
+            for (const auto& e : g.edges())
+                if (dist[e.src] != kInfCost &&
+                    dist[e.src] + e.weight < dist[e.dst])
+                    dist[e.dst] = dist[e.src] + e.weight;
+        for (int v = 0; v < n; ++v) {
+            if (dist[v] == kInfCost)
+                EXPECT_EQ(sp.dist[v], kInfCost) << "vertex " << v;
+            else
+                EXPECT_NEAR(sp.dist[v], dist[v], 1e-9) << "vertex " << v;
+        }
+    }
+}
+
+TEST(Cycles, DetectsCycle) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_FALSE(has_cycle(g));
+    g.add_edge(2, 0);
+    EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Cycles, SelfLoopIsCycle) {
+    Digraph g(2);
+    g.add_edge(0, 0);
+    EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Topological, OrderRespectsEdges) {
+    Digraph g(4);
+    g.add_edge(3, 1);
+    g.add_edge(1, 0);
+    g.add_edge(3, 2);
+    const auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+    for (const auto& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(Topological, CyclicReturnsNullopt) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(Components, WeakComponents) {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const auto [comp, n] = weak_components(g);
+    EXPECT_EQ(n, 3);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[2], comp[3]);
+    EXPECT_NE(comp[0], comp[2]);
+    EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(Reachability, AllReachable) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_TRUE(all_reachable(g, 0, {1, 2}));
+    EXPECT_FALSE(all_reachable(g, 0, {3}));
+    EXPECT_FALSE(all_reachable(g, 2, {0}));  // direction matters
+}
+
+TEST(UnionFindT, UniteAndFind) {
+    UnionFind uf(5);
+    EXPECT_EQ(uf.num_sets(), 5);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_EQ(uf.num_sets(), 3);
+    EXPECT_EQ(uf.find(0), uf.find(1));
+    EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+}  // namespace
+}  // namespace sunfloor

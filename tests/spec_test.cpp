@@ -1,0 +1,159 @@
+// Tests for core/communication specifications and the text parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor {
+namespace {
+
+Core make_core(const std::string& name, double w, double h, int layer) {
+    Core c;
+    c.name = name;
+    c.width = w;
+    c.height = h;
+    c.layer = layer;
+    return c;
+}
+
+TEST(CoreSpec, AddAndFind) {
+    CoreSpec cs;
+    EXPECT_EQ(cs.add_core(make_core("a", 1, 1, 0)), 0);
+    EXPECT_EQ(cs.add_core(make_core("b", 2, 1, 1)), 1);
+    EXPECT_EQ(cs.find("b"), 1);
+    EXPECT_EQ(cs.find("zz"), -1);
+    EXPECT_EQ(cs.num_layers(), 2);
+}
+
+TEST(CoreSpec, RejectsDuplicatesAndBadSizes) {
+    CoreSpec cs;
+    cs.add_core(make_core("a", 1, 1, 0));
+    EXPECT_THROW(cs.add_core(make_core("a", 1, 1, 0)), std::invalid_argument);
+    EXPECT_THROW(cs.add_core(make_core("b", 0, 1, 0)), std::invalid_argument);
+    EXPECT_THROW(cs.add_core(make_core("c", 1, 1, -1)), std::invalid_argument);
+}
+
+TEST(CoreSpec, LayerQueries) {
+    CoreSpec cs;
+    cs.add_core(make_core("a", 2, 2, 0));
+    cs.add_core(make_core("b", 1, 1, 0));
+    cs.add_core(make_core("c", 3, 1, 1));
+    EXPECT_EQ(cs.cores_in_layer(0), (std::vector<int>{0, 1}));
+    EXPECT_DOUBLE_EQ(cs.layer_area(0), 5.0);
+    EXPECT_DOUBLE_EQ(cs.layer_area(1), 3.0);
+}
+
+TEST(CoreSpec, FlattenTo2d) {
+    CoreSpec cs;
+    cs.add_core(make_core("a", 1, 1, 0));
+    cs.add_core(make_core("b", 1, 1, 2));
+    const CoreSpec flat = cs.flattened_to_2d();
+    EXPECT_EQ(flat.num_layers(), 1);
+    EXPECT_EQ(flat.num_cores(), 2);
+}
+
+TEST(CoreSpec, PlacementLegality) {
+    CoreSpec cs;
+    cs.add_core(make_core("a", 2, 2, 0));
+    cs.add_core(make_core("b", 2, 2, 0));
+    cs.core(1).position = {1.0, 1.0};  // overlaps core 0
+    EXPECT_FALSE(cs.placement_is_legal());
+    cs.core(1).position = {2.0, 0.0};  // abutting is legal
+    EXPECT_TRUE(cs.placement_is_legal());
+    cs.core(1).layer = 1;  // different layers never conflict
+    cs.core(1).position = {0.0, 0.0};
+    EXPECT_TRUE(cs.placement_is_legal());
+}
+
+TEST(CommSpec, FlowValidation) {
+    CommSpec comm;
+    Flow f;
+    f.src = 0;
+    f.dst = 0;
+    EXPECT_THROW(comm.add_flow(f), std::invalid_argument);
+    f.dst = 1;
+    f.bw_mbps = -1.0;
+    EXPECT_THROW(comm.add_flow(f), std::invalid_argument);
+    f.bw_mbps = 10.0;
+    EXPECT_EQ(comm.add_flow(f), 0);
+}
+
+TEST(CommSpec, Aggregates) {
+    CommSpec comm;
+    comm.add_flow({0, 1, 100.0, 5.0, FlowType::Request});
+    comm.add_flow({1, 0, 300.0, 0.0, FlowType::Response});
+    comm.add_flow({2, 0, 50.0, 3.0, FlowType::Request});
+    EXPECT_DOUBLE_EQ(comm.max_bw(), 300.0);
+    EXPECT_DOUBLE_EQ(comm.min_lat(), 3.0);  // unconstrained flow ignored
+    EXPECT_DOUBLE_EQ(comm.total_bw(), 450.0);
+}
+
+TEST(CommSpec, CommunicationGraphMergesParallelFlows) {
+    CommSpec comm;
+    comm.add_flow({0, 1, 100.0, 5.0, FlowType::Request});
+    comm.add_flow({0, 1, 50.0, 5.0, FlowType::Request});
+    const Digraph g = comm.communication_graph(3);
+    EXPECT_EQ(g.num_edges(), 1);
+    EXPECT_DOUBLE_EQ(g.edge(0).weight, 150.0);
+    EXPECT_THROW(comm.communication_graph(1), std::out_of_range);
+}
+
+TEST(CommSpec, InterLayerFlows) {
+    CommSpec comm;
+    comm.add_flow({0, 1, 1.0, 0.0, FlowType::Request});
+    comm.add_flow({1, 2, 1.0, 0.0, FlowType::Request});
+    const std::vector<int> layer{0, 0, 1};
+    EXPECT_EQ(comm.inter_layer_flows(layer), (std::vector<int>{1}));
+}
+
+TEST(Parser, RoundTrip) {
+    const char* text =
+        "# comment\n"
+        "core arm0 1.2 1.0 0.0 0.0 0\n"
+        "core mem0 0.8 0.8 1.3 0.0 1\n"
+        "flow arm0 mem0 400 6 req\n"
+        "flow mem0 arm0 400 8 rsp\n";
+    std::istringstream is(text);
+    const auto r = parse_design(is, "t");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.spec.cores.num_cores(), 2);
+    EXPECT_EQ(r.spec.comm.num_flows(), 2);
+    EXPECT_EQ(r.spec.comm.flow(1).type, FlowType::Response);
+    EXPECT_DOUBLE_EQ(r.spec.cores.core(1).position.x, 1.3);
+
+    std::ostringstream os;
+    write_design(os, r.spec);
+    std::istringstream is2(os.str());
+    const auto r2 = parse_design(is2, "t2");
+    ASSERT_TRUE(r2.ok) << r2.error;
+    EXPECT_EQ(r2.spec.cores.num_cores(), 2);
+    EXPECT_EQ(r2.spec.comm.num_flows(), 2);
+    EXPECT_DOUBLE_EQ(r2.spec.comm.flow(0).bw_mbps, 400.0);
+}
+
+TEST(Parser, Errors) {
+    auto expect_fail = [](const char* text, const char* what) {
+        std::istringstream is(text);
+        const auto r = parse_design(is);
+        EXPECT_FALSE(r.ok) << what;
+        EXPECT_FALSE(r.error.empty());
+    };
+    expect_fail("core a 1 1 0 0\n", "missing layer field");
+    expect_fail("core a x 1 0 0 0\n", "bad number");
+    expect_fail("flow a b 1 1 req\n", "undeclared cores");
+    expect_fail("core a 1 1 0 0 0\ncore b 1 1 0 0 0\nflow a b 1 1 zzz\n",
+                "bad flow type");
+    expect_fail("bogus line here\n", "unknown directive");
+    expect_fail("core a 1 1 0 0 0\ncore a 1 1 0 0 0\n", "duplicate core");
+}
+
+TEST(Parser, EmptyInputIsValid) {
+    std::istringstream is("\n# nothing\n");
+    const auto r = parse_design(is);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.spec.cores.num_cores(), 0);
+}
+
+}  // namespace
+}  // namespace sunfloor

@@ -1,0 +1,141 @@
+// Tests for the NoC topology data model.
+#include <gtest/gtest.h>
+
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/spec/benchmarks.h"
+
+namespace sunfloor {
+namespace {
+
+// Small 2-layer spec: cores c0(L0), c1(L0), c2(L1).
+DesignSpec small_spec() {
+    DesignSpec spec;
+    auto add = [&](const char* n, int layer, double x) {
+        Core c;
+        c.name = n;
+        c.width = 1;
+        c.height = 1;
+        c.layer = layer;
+        c.position = {x, 0};
+        spec.cores.add_core(c);
+    };
+    add("c0", 0, 0.0);
+    add("c1", 0, 2.0);
+    add("c2", 1, 1.0);
+    spec.comm.add_flow({0, 1, 100, 10, FlowType::Request});
+    spec.comm.add_flow({0, 2, 200, 10, FlowType::Request});
+    spec.comm.add_flow({2, 0, 200, 10, FlowType::Response});
+    return spec;
+}
+
+TEST(Topology, SwitchAndLinkBookkeeping) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, spec.comm.num_flows());
+    EXPECT_EQ(t.num_cores(), 3);
+    const int s0 = t.add_switch("sw0", 0, {1, 1});
+    const int s1 = t.add_switch("sw1", 1, {1, 1});
+    EXPECT_EQ(t.num_switches(), 2);
+    const int l0 = t.add_link(NodeRef::core(0), NodeRef::sw(s0));
+    EXPECT_EQ(t.add_link(NodeRef::core(0), NodeRef::sw(s0)), l0);  // dedup
+    const int l0r = t.add_link(NodeRef::core(0), NodeRef::sw(s0),
+                               FlowType::Response);
+    EXPECT_NE(l0r, l0);  // classes are distinct physical channels
+    const int lp = t.add_parallel_link(NodeRef::core(0), NodeRef::sw(s0),
+                                       FlowType::Request);
+    EXPECT_NE(lp, l0);  // explicit parallel channel
+    t.add_link(NodeRef::sw(s0), NodeRef::sw(s1));
+    EXPECT_EQ(t.switch_in_degree(s0), 3);
+    EXPECT_EQ(t.switch_out_degree(s0), 1);
+    EXPECT_EQ(t.switch_in_degree(s1), 1);
+}
+
+TEST(Topology, RejectsBadLinks) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, 0);
+    t.add_switch("s", 0);
+    EXPECT_THROW(t.add_link(NodeRef::core(0), NodeRef::core(1)),
+                 std::invalid_argument);
+    EXPECT_THROW(t.add_link(NodeRef::core(9), NodeRef::sw(0)),
+                 std::out_of_range);
+    EXPECT_THROW(t.add_link(NodeRef::sw(0), NodeRef::sw(0)),
+                 std::invalid_argument);
+}
+
+TEST(Topology, FlowPathAccumulatesBandwidth) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, spec.comm.num_flows());
+    const int s = t.add_switch("s", 0, {1, 0});
+    const int a = t.add_link(NodeRef::core(0), NodeRef::sw(s));
+    const int b = t.add_link(NodeRef::sw(s), NodeRef::core(1));
+    t.set_flow_path(0, spec.comm.flow(0), {a, b});
+    EXPECT_TRUE(t.has_path(0));
+    EXPECT_DOUBLE_EQ(t.link(a).bw_mbps, 100.0);
+    EXPECT_DOUBLE_EQ(t.link(b).bw_mbps, 100.0);
+    EXPECT_FALSE(t.all_flows_routed());
+    EXPECT_THROW(t.set_flow_path(0, spec.comm.flow(0), {a, b}),
+                 std::invalid_argument);  // already routed
+}
+
+TEST(Topology, PathValidation) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, spec.comm.num_flows());
+    const int s0 = t.add_switch("s0", 0);
+    const int s1 = t.add_switch("s1", 1);
+    const int a = t.add_link(NodeRef::core(0), NodeRef::sw(s0));
+    const int b = t.add_link(NodeRef::sw(s1), NodeRef::core(1));
+    // Not contiguous: s0 -> s1 link missing.
+    EXPECT_THROW(t.set_flow_path(0, spec.comm.flow(0), {a, b}),
+                 std::invalid_argument);
+    // Wrong class: flow 2 is a response.
+    const int c = t.add_link(NodeRef::sw(s0), NodeRef::sw(s1));
+    const int d = t.add_link(NodeRef::sw(s1), NodeRef::core(0));
+    EXPECT_THROW(t.set_flow_path(2, spec.comm.flow(2), {a, c, d}),
+                 std::invalid_argument);
+    EXPECT_THROW(t.set_flow_path(0, spec.comm.flow(0), {}),
+                 std::invalid_argument);
+}
+
+TEST(Topology, GeometryAndLayers) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, 0);
+    const int s0 = t.add_switch("s0", 0, {0.5, 0.5});
+    const int s1 = t.add_switch("s1", 1, {2.5, 0.5});
+    const int l = t.add_link(NodeRef::sw(s0), NodeRef::sw(s1));
+    EXPECT_DOUBLE_EQ(t.link_planar_length(l), 2.0);
+    EXPECT_EQ(t.link_layers_crossed(l), 1);
+    EXPECT_EQ(t.node_layer(NodeRef::core(2)), 1);
+    // Core centers snapshot from the spec.
+    EXPECT_EQ(t.node_position(NodeRef::core(1)), (Point{2.5, 0.5}));
+    t.set_core_geometry(1, {9, 9}, 0);
+    EXPECT_EQ(t.node_position(NodeRef::core(1)), (Point{9, 9}));
+}
+
+TEST(Topology, InterLayerLinkCounting) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, 0);
+    const int s0 = t.add_switch("s0", 0);
+    const int s2 = t.add_switch("s2", 2);
+    t.add_link(NodeRef::sw(s0), NodeRef::sw(s2));      // spans 0-1 and 1-2
+    t.add_link(NodeRef::core(0), NodeRef::sw(s0));     // intra-layer
+    t.add_link(NodeRef::core(2), NodeRef::sw(s0));     // crosses 0-1
+    EXPECT_EQ(t.inter_layer_links(0, 1), 2);
+    EXPECT_EQ(t.inter_layer_links(1, 2), 1);
+    EXPECT_EQ(t.total_inter_layer_links(), 3);
+    EXPECT_EQ(t.max_ill_used(3), 2);
+}
+
+TEST(Topology, SwitchThroughBandwidth) {
+    const auto spec = small_spec();
+    Topology t(spec.cores, spec.comm.num_flows());
+    const int s = t.add_switch("s", 0, {1, 0});
+    const int a = t.add_link(NodeRef::core(0), NodeRef::sw(s));
+    const int b = t.add_link(NodeRef::sw(s), NodeRef::core(1));
+    const int c = t.add_link(NodeRef::sw(s), NodeRef::core(2));
+    t.set_flow_path(0, spec.comm.flow(0), {a, b});
+    t.set_flow_path(1, spec.comm.flow(1), {a, c});
+    // Both flows enter via link a: through bandwidth = 300.
+    EXPECT_DOUBLE_EQ(t.switch_through_bw(s), 300.0);
+}
+
+}  // namespace
+}  // namespace sunfloor

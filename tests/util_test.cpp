@@ -1,0 +1,181 @@
+// Unit tests for the util substrate: geometry, RNG, strings, tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sunfloor/util/csv.h"
+#include "sunfloor/util/geometry.h"
+#include "sunfloor/util/rng.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+namespace {
+
+TEST(Geometry, ManhattanAndEuclidean) {
+    EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+    EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(manhattan({-1, 2}, {-1, 2}), 0.0);
+}
+
+TEST(Geometry, RectBasics) {
+    const Rect r{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(r.right(), 4.0);
+    EXPECT_DOUBLE_EQ(r.top(), 6.0);
+    EXPECT_DOUBLE_EQ(r.area(), 12.0);
+    EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Geometry, OverlapDetection) {
+    const Rect a{0, 0, 2, 2};
+    const Rect b{1, 1, 2, 2};
+    const Rect c{2, 0, 2, 2};  // abutting, not overlapping
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+}
+
+TEST(Geometry, ContainsAndUnion) {
+    const Rect a{0, 0, 4, 4};
+    EXPECT_TRUE(a.contains(Rect{1, 1, 2, 2}));
+    EXPECT_FALSE(a.contains(Rect{3, 3, 2, 2}));
+    EXPECT_TRUE(a.contains(Point{4, 4}));
+    EXPECT_FALSE(a.contains(Point{4.1, 4}));
+    const Rect u = a.united({5, 5, 1, 1});
+    EXPECT_DOUBLE_EQ(u.right(), 6.0);
+    EXPECT_DOUBLE_EQ(u.top(), 6.0);
+}
+
+TEST(Geometry, BoundingBoxAndTotalOverlap) {
+    std::vector<Rect> rects{{0, 0, 1, 1}, {2, 2, 1, 1}};
+    const Rect bb = bounding_box(rects);
+    EXPECT_DOUBLE_EQ(bb.area(), 9.0);
+    EXPECT_DOUBLE_EQ(total_overlap(rects), 0.0);
+    rects.push_back({0.5, 0.5, 1, 1});
+    EXPECT_GT(total_overlap(rects), 0.0);
+    EXPECT_TRUE(bounding_box({}).area() == 0.0);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangesRespected) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        const int v = r.next_int(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+        EXPECT_LT(r.next_below(10), 10u);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+    Rng r(11);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 500; ++i)
+        ++seen[static_cast<std::size_t>(r.next_below(5))];
+    for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng r(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, Split) {
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWs) {
+    const auto parts = split_ws("  core  arm0\t1.2  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "core");
+    EXPECT_EQ(parts[1], "arm0");
+    EXPECT_EQ(parts[2], "1.2");
+    EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, Format) {
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, ParseDouble) {
+    double d = 0.0;
+    EXPECT_TRUE(parse_double("3.5", d));
+    EXPECT_DOUBLE_EQ(d, 3.5);
+    EXPECT_TRUE(parse_double(" -2e3 ", d));
+    EXPECT_DOUBLE_EQ(d, -2000.0);
+    EXPECT_FALSE(parse_double("abc", d));
+    EXPECT_FALSE(parse_double("1.5x", d));
+    EXPECT_FALSE(parse_double("", d));
+}
+
+TEST(Strings, ParseInt) {
+    int v = 0;
+    EXPECT_TRUE(parse_int("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parse_int("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parse_int("4.2", v));
+    EXPECT_FALSE(parse_int("", v));
+}
+
+TEST(Table, ArityChecked) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({Cell{std::string("x")}}), std::invalid_argument);
+    t.add_row({std::string("x"), 1.5});
+    EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, CsvEscaping) {
+    Table t({"name", "v"});
+    t.add_row({std::string("a,b"), static_cast<long long>(1)});
+    t.add_row({std::string("q\"q"), static_cast<long long>(2)});
+    std::ostringstream os;
+    t.write_csv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Table, PrettyAligned) {
+    Table t({"col", "value"});
+    t.add_row({std::string("x"), 12.5});
+    std::ostringstream os;
+    t.write_pretty(os);
+    EXPECT_NE(os.str().find("col"), std::string::npos);
+    EXPECT_NE(os.str().find("12.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sunfloor
