@@ -1,0 +1,74 @@
+// Thread-scaling of the parallel design-space exploration engine.
+//
+// A fixed >=64-point architectural grid (frequency x TSV budget x link
+// width x theta) over D_36_4 is explored with 1/2/4/8 worker threads; the
+// per-point synthesis work is identical in every configuration (the cache
+// is disabled), so the ratio of wall times is the parallel speedup.
+// run_benches.sh parses the JSON output into BENCH_explore.json.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "sunfloor/explore/explorer.h"
+
+using namespace sunfloor;
+using namespace sunfloor::bench;
+
+namespace {
+
+// 4 x 2 x 2 x 4 = 64 architectural points. Kept identical across thread
+// counts; per-point cost is bounded via the switch-count sweep so one
+// exploration stays in benchable territory.
+ParamGrid scaling_grid() {
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6, 500e6, 600e6}));
+    grid.set_axis(ParamAxis::max_tsvs({15, 25}));
+    grid.set_axis(ParamAxis::link_widths_bits({32, 64}));
+    grid.set_axis(ParamAxis::thetas({1.0, 4.0, 7.0, 10.0}));
+    return grid;
+}
+
+void BM_explore(benchmark::State& state) {
+    static const DesignSpec spec = prepared_benchmark("D_36_4");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    cfg.max_switches = 6;  // bound the per-point switch-count sweep
+
+    ExploreOptions opts;
+    opts.num_threads = static_cast<int>(state.range(0));
+    opts.use_cache = false;  // every point does full work in every run
+
+    const ParamGrid grid = scaling_grid();
+    const Explorer explorer(spec, cfg, opts);
+    std::size_t points = 0;
+    for (auto _ : state) {
+        const ExploreResult res = explorer.run(grid);
+        points += static_cast<std::size_t>(res.stats.total_points);
+        benchmark::DoNotOptimize(res.stats.valid_designs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(points));
+    state.counters["points"] = static_cast<double>(points / state.iterations());
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(points), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_explore)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Banner on stderr: run_benches.sh parses this bench's stdout as JSON.
+    std::fprintf(stderr,
+                 "Parallel exploration thread scaling (64-point grid)\n"
+                 "(the Fig. 3 outer architectural loop of SunFloor 3D)\n"
+                 "expect: real time falls with the thread count (up to the "
+                 "core count of this machine) while CPU time stays flat.\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

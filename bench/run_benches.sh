@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Run the exploration scaling bench and distill BENCH_explore.json
+# (points/sec per thread count, speedup vs 1 thread) — the start of the
+# repo's performance trajectory. Extra arguments are passed through to
+# the bench binary (e.g. --benchmark_min_time=2x).
+#
+# Usage: bench/run_benches.sh [build_dir] [out.json] [bench args...]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_explore.json}
+shift $(( $# >= 2 ? 2 : $# ))
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# min_time well below one exploration => exactly one iteration per
+# thread count (old and new Google Benchmark both accept plain seconds)
+"$BUILD_DIR/bench_explore_scaling" --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@" > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw.get("benchmarks", []):
+    # Names look like BM_explore/4/process_time/real_time. Skip the
+    # _mean/_median/_stddev/_cv rows --benchmark_repetitions adds; average
+    # the per-repetition measurements instead.
+    if "aggregate_name" in b:
+        continue
+    t = int(b["name"].split("/")[1])
+    rows.setdefault(t, []).append(b)
+threads = {}
+for t, bs in rows.items():
+    n = len(bs)
+    threads[t] = {
+        "real_time_ms": round(sum(b["real_time"] for b in bs) / n, 3),
+        "cpu_time_ms": round(sum(b["cpu_time"] for b in bs) / n, 3),
+        "points_per_sec": round(
+            sum(b.get("points_per_sec", 0.0) for b in bs) / n, 3),
+        "grid_points": int(bs[0].get("points", 0)),
+        "repetitions": n,
+    }
+base = threads.get(1, {}).get("real_time_ms")
+for t, r in threads.items():
+    r["speedup_vs_1_thread"] = round(base / r["real_time_ms"], 3) if base else None
+
+out = {
+    "bench": "bench_explore_scaling",
+    "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
+    "threads": {str(t): threads[t] for t in sorted(threads)},
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+EOF

@@ -6,6 +6,16 @@
 
 namespace sunfloor {
 
+bool dominates(const EvalReport& a, const EvalReport& b) {
+    const bool no_worse = a.power.total_mw() <= b.power.total_mw() &&
+                          a.avg_latency_cycles <= b.avg_latency_cycles &&
+                          a.noc_area_mm2() <= b.noc_area_mm2();
+    const bool strictly_better = a.power.total_mw() < b.power.total_mw() ||
+                                 a.avg_latency_cycles < b.avg_latency_cycles ||
+                                 a.noc_area_mm2() < b.noc_area_mm2();
+    return no_worse && strictly_better;
+}
+
 std::vector<int> pareto_front(const std::vector<DesignPoint>& points) {
     std::vector<int> front;
     for (int i = 0; i < static_cast<int>(points.size()); ++i) {
@@ -15,16 +25,7 @@ std::vector<int> pareto_front(const std::vector<DesignPoint>& points) {
         for (int j = 0; j < static_cast<int>(points.size()); ++j) {
             if (i == j) continue;
             const auto& b = points[static_cast<std::size_t>(j)];
-            if (!b.valid) continue;
-            const bool no_worse =
-                b.report.power.total_mw() <= a.report.power.total_mw() &&
-                b.report.avg_latency_cycles <= a.report.avg_latency_cycles &&
-                b.report.noc_area_mm2() <= a.report.noc_area_mm2();
-            const bool strictly_better =
-                b.report.power.total_mw() < a.report.power.total_mw() ||
-                b.report.avg_latency_cycles < a.report.avg_latency_cycles ||
-                b.report.noc_area_mm2() < a.report.noc_area_mm2();
-            if (no_worse && strictly_better) {
+            if (b.valid && dominates(b.report, a.report)) {
                 dominated = true;
                 break;
             }

@@ -103,6 +103,11 @@ struct DesignPoint {
     }
 };
 
+/// Pareto dominance over (total power, avg latency, NoC area): true when
+/// `a` is no worse on all three and strictly better on at least one. The
+/// single rule behind pareto_front and the explorer's global front.
+bool dominates(const EvalReport& a, const EvalReport& b);
+
 /// Indices of the Pareto-optimal points over (power, latency, area), among
 /// valid points only.
 std::vector<int> pareto_front(const std::vector<DesignPoint>& points);

@@ -7,6 +7,27 @@
 
 namespace sunfloor {
 
+const char* phase_to_string(SynthesisPhase phase) {
+    switch (phase) {
+        case SynthesisPhase::Phase1: return "1";
+        case SynthesisPhase::Phase2: return "2";
+        case SynthesisPhase::Auto: break;
+    }
+    return "auto";
+}
+
+bool phase_from_string(const std::string& s, SynthesisPhase& out) {
+    if (s == "auto")
+        out = SynthesisPhase::Auto;
+    else if (s == "1")
+        out = SynthesisPhase::Phase1;
+    else if (s == "2")
+        out = SynthesisPhase::Phase2;
+    else
+        return false;
+    return true;
+}
+
 DesignPoint synthesize_design_point(const DesignSpec& spec,
                                     const SynthesisConfig& cfg,
                                     const CoreAssignment& assign,
@@ -73,18 +94,16 @@ DesignPoint synthesize_design_point(const DesignSpec& spec,
 }
 
 std::vector<FrequencyPoint> Synthesizer::run_frequency_sweep(
-    const std::vector<double>& freqs_hz, SynthesisPhase phase) {
+    const std::vector<double>& freqs_hz, SynthesisPhase phase) const {
     std::vector<FrequencyPoint> sweep;
-    const SynthesisConfig base = cfg_;
     for (double f : freqs_hz) {
         FrequencyPoint fp;
         fp.freq_hz = f;
-        cfg_ = base;
-        cfg_.eval.freq_hz = f;
-        fp.result = run(phase);
+        SynthesisConfig cfg = cfg_;
+        cfg.eval.freq_hz = f;
+        fp.result = run_synthesis(spec_, cfg, phase);
         sweep.push_back(std::move(fp));
     }
-    cfg_ = base;
     return sweep;
 }
 
@@ -109,29 +128,35 @@ std::pair<int, int> best_power_over_sweep(
     return {bi, bj};
 }
 
-SynthesisResult Synthesizer::run(SynthesisPhase phase) {
-    Rng rng(cfg_.seed);
+SynthesisResult run_synthesis(const DesignSpec& spec,
+                              const SynthesisConfig& cfg,
+                              SynthesisPhase phase) {
+    Rng rng(cfg.seed);
     SynthesisResult result;
     switch (phase) {
         case SynthesisPhase::Phase1:
-            result.points = run_phase1(spec_, cfg_, rng);
+            result.points = run_phase1(spec, cfg, rng);
             result.phase_used = "phase1";
             break;
         case SynthesisPhase::Phase2:
-            result.points = run_phase2(spec_, cfg_, rng);
+            result.points = run_phase2(spec, cfg, rng);
             result.phase_used = "phase2";
             break;
         case SynthesisPhase::Auto: {
-            result.points = run_phase1(spec_, cfg_, rng);
+            result.points = run_phase1(spec, cfg, rng);
             result.phase_used = "phase1";
             if (result.num_valid() == 0) {
-                result.points = run_phase2(spec_, cfg_, rng);
+                result.points = run_phase2(spec, cfg, rng);
                 result.phase_used = "phase2";
             }
             break;
         }
     }
     return result;
+}
+
+SynthesisResult Synthesizer::run(SynthesisPhase phase) const {
+    return run_synthesis(spec_, cfg_, phase);
 }
 
 }  // namespace sunfloor

@@ -21,6 +21,13 @@ enum class SynthesisPhase {
     Phase2,  ///< Algorithm 2 only (layer-by-layer, adjacent links only)
 };
 
+/// "auto", "1" or "2" — the single source for CLI parsing, cache keys and
+/// exports.
+const char* phase_to_string(SynthesisPhase phase);
+
+/// Inverse of phase_to_string; returns false on any other input.
+bool phase_from_string(const std::string& s, SynthesisPhase& out);
+
 struct SynthesisResult {
     std::vector<DesignPoint> points;
     std::string phase_used;
@@ -62,6 +69,14 @@ struct FrequencyPoint {
     SynthesisResult result;
 };
 
+/// Stateless synthesis entry point: run the full flow for one (spec,
+/// config) pair. Safe to call concurrently from many threads — all state
+/// (including the Rng, seeded from cfg.seed) is local to the call. The
+/// explore engine drives this directly.
+SynthesisResult run_synthesis(const DesignSpec& spec,
+                              const SynthesisConfig& cfg,
+                              SynthesisPhase phase = SynthesisPhase::Auto);
+
 /// Convenience driver around the two phases.
 class Synthesizer {
   public:
@@ -71,7 +86,7 @@ class Synthesizer {
     const DesignSpec& spec() const { return spec_; }
     const SynthesisConfig& config() const { return cfg_; }
 
-    SynthesisResult run(SynthesisPhase phase = SynthesisPhase::Auto);
+    SynthesisResult run(SynthesisPhase phase = SynthesisPhase::Auto) const;
 
     /// The outer loop of Fig. 3: "the NoC architectural parameters, such
     /// as frequency of operation, are varied and the topology design
@@ -81,7 +96,7 @@ class Synthesizer {
     /// and lets the designer pick from the union of tradeoff sets.
     std::vector<FrequencyPoint> run_frequency_sweep(
         const std::vector<double>& freqs_hz,
-        SynthesisPhase phase = SynthesisPhase::Auto);
+        SynthesisPhase phase = SynthesisPhase::Auto) const;
 
   private:
     DesignSpec spec_;

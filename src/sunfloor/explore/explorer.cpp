@@ -1,0 +1,196 @@
+#include "sunfloor/explore/explorer.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "sunfloor/util/thread_pool.h"
+
+namespace sunfloor {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t explore_point_seed(std::uint64_t base_seed,
+                                 const std::string& point_key) {
+    return splitmix64(base_seed ^ splitmix64(fnv1a(point_key)));
+}
+
+ParetoEntry ExploreResult::best_power() const {
+    ParetoEntry best{-1, -1};
+    double best_mw = 0.0;
+    for (const auto& e : pareto) {
+        const double mw = design(e).report.power.total_mw();
+        if (best.point_index < 0 || mw < best_mw) {
+            best = e;
+            best_mw = mw;
+        }
+    }
+    return best;
+}
+
+std::vector<ParetoEntry> global_pareto(
+    const std::vector<ExplorePointResult>& points) {
+    struct Candidate {
+        ParetoEntry entry;
+        const EvalReport* report;
+    };
+    // A design dominated within its own point is dominated globally
+    // (dominates() is the one shared rule), so only the per-point fronts
+    // can survive; this keeps the all-pairs dominance scan below over a
+    // candidate set that stays small even for huge grids. Repeated
+    // architectural points carry copies of the same designs (dominance is
+    // strict, so ties would all survive); only the first occurrence of
+    // each key contributes candidates.
+    std::vector<Candidate> cands;
+    std::unordered_set<std::string> seen_keys;
+    for (int pi = 0; pi < static_cast<int>(points.size()); ++pi) {
+        if (!seen_keys.insert(points[static_cast<std::size_t>(pi)].point.key())
+                 .second)
+            continue;
+        const auto& ps = points[static_cast<std::size_t>(pi)].result.points;
+        for (int di : pareto_front(ps))
+            cands.push_back(
+                {{pi, di}, &ps[static_cast<std::size_t>(di)].report});
+    }
+    std::vector<ParetoEntry> front;
+    for (const auto& a : cands) {
+        bool dominated = false;
+        for (const auto& b : cands) {
+            if (&a == &b) continue;
+            if (dominates(*b.report, *a.report)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) front.push_back(a.entry);
+    }
+    return front;
+}
+
+Explorer::Explorer(DesignSpec spec, SynthesisConfig base_cfg,
+                   ExploreOptions opts)
+    : spec_(std::move(spec)), base_cfg_(std::move(base_cfg)),
+      opts_(opts) {}
+
+std::size_t Explorer::cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+}
+
+ExploreResult Explorer::run(const ParamGrid& grid) const {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    ExploreResult out;
+    const std::vector<GridPoint> points = grid.enumerate();
+    out.points.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        out.points[i].point = points[i];
+
+    // Resolve each point to either a cached result or an evaluation slot.
+    // Duplicate architectural points (identical keys) share one evaluation;
+    // because the seed derives from the key, sharing is unobservable in the
+    // results, so hit accounting stays deterministic under any thread count.
+    std::vector<std::size_t> to_eval;            // indices into out.points
+    std::unordered_map<std::string, std::size_t> first_of_key;
+    std::vector<std::string> keys(points.size());
+    std::vector<char> intra_run_dup(points.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        keys[i] = points[i].key();
+        out.points[i].seed = explore_point_seed(opts_.base_seed, keys[i]);
+        if (!opts_.use_cache) {
+            to_eval.push_back(i);
+            continue;
+        }
+        bool cached = false;
+        {
+            std::lock_guard<std::mutex> lock(cache_mu_);
+            auto it = cache_.find(keys[i]);
+            if (it != cache_.end()) {
+                out.points[i].result = it->second;
+                out.points[i].cache_hit = true;
+                cached = true;
+            }
+        }
+        if (cached) continue;
+        auto [it, inserted] = first_of_key.emplace(keys[i], i);
+        if (inserted) {
+            to_eval.push_back(i);
+        } else {
+            out.points[i].cache_hit = true;  // filled after evaluation
+            intra_run_dup[i] = 1;
+        }
+    }
+
+    const auto evaluate = [&](std::size_t slot) {
+        const std::size_t i = to_eval[slot];
+        const GridPoint& p = points[i];
+        SynthesisConfig cfg = p.apply(base_cfg_);
+        cfg.seed = out.points[i].seed;
+        out.points[i].result = run_synthesis(spec_, cfg, p.phase);
+    };
+
+    int threads = opts_.num_threads;
+    if (threads <= 0) threads = ThreadPool::default_thread_count();
+    // Never spawn more workers than there is work; num_threads in the
+    // stats reports what actually ran.
+    if (threads > static_cast<int>(to_eval.size()))
+        threads = static_cast<int>(to_eval.size());  // 0 when fully cached
+    if (threads <= 1) {
+        for (std::size_t s = 0; s < to_eval.size(); ++s) evaluate(s);
+        threads = to_eval.empty() ? 0 : 1;
+    } else {
+        ThreadPool pool(threads);
+        pool.parallel_for(to_eval.size(), evaluate);
+        threads = pool.num_threads();
+    }
+
+    if (opts_.use_cache) {
+        // Publish fresh evaluations, then serve the intra-run duplicates.
+        {
+            std::lock_guard<std::mutex> lock(cache_mu_);
+            for (std::size_t i : to_eval)
+                cache_.emplace(keys[i], out.points[i].result);
+        }
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (intra_run_dup[i])
+                out.points[i].result =
+                    out.points[first_of_key.at(keys[i])].result;
+        }
+    }
+
+    out.pareto = global_pareto(out.points);
+    for (const auto& e : out.pareto)
+        ++out.points[static_cast<std::size_t>(e.point_index)].pareto_survivors;
+
+    auto& st = out.stats;
+    st.total_points = static_cast<int>(points.size());
+    st.evaluated_points = static_cast<int>(to_eval.size());
+    st.cache_hits = st.total_points - st.evaluated_points;
+    std::unordered_set<std::string> counted_keys;
+    for (std::size_t i = 0; i < out.points.size(); ++i) {
+        const auto& pr = out.points[i];
+        st.total_designs += static_cast<int>(pr.result.points.size());
+        st.valid_designs += pr.result.num_valid();
+        if (counted_keys.insert(keys[i]).second)
+            st.unique_valid_designs += pr.result.num_valid();
+    }
+    st.pareto_size = static_cast<int>(out.pareto.size());
+    st.dominated_designs = st.unique_valid_designs - st.pareto_size;
+    st.num_threads = threads;
+    st.elapsed_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return out;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,123 @@
+// Parallel design-space exploration (Fig. 3's outer loop, industrialized).
+//
+// The Explorer evaluates every architectural point of a ParamGrid —
+// a full topology synthesis per point — sharded across a thread pool,
+// and merges the per-point tradeoff sets into one global Pareto front
+// over (power, latency, area).
+//
+// Determinism: each point's synthesis is seeded from
+// mix(base_seed, hash(point.key())), never from a thread or worker id,
+// so N-thread runs are bit-identical to 1-thread runs. Points whose
+// architectural parameters coincide (duplicate axis values, repeated
+// runs on one Explorer) share a seed and therefore a result, which is
+// what makes the evaluation cache transparent.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/explore/param_grid.h"
+
+namespace sunfloor {
+
+struct ExploreOptions {
+    /// Worker threads; 1 runs inline on the caller (the serial reference
+    /// path), 0 picks the hardware concurrency.
+    int num_threads = 1;
+
+    /// Reuse results for repeated architectural points, both within one
+    /// run and across runs on the same Explorer.
+    bool use_cache = true;
+
+    /// Base RNG seed mixed into every point's seed.
+    std::uint64_t base_seed = Rng::kDefaultSeed;
+};
+
+/// One explored architectural point and its synthesis output.
+struct ExplorePointResult {
+    GridPoint point;
+    SynthesisResult result;
+    std::uint64_t seed = 0;   ///< the derived per-point seed
+    bool cache_hit = false;   ///< result reused rather than recomputed
+    int pareto_survivors = 0; ///< this point's designs on the global front
+};
+
+/// Coordinates of one design on the global Pareto front.
+struct ParetoEntry {
+    int point_index = 0;   ///< into ExploreResult::points
+    int design_index = 0;  ///< into that point's result.points
+};
+
+struct ExploreStats {
+    int total_points = 0;      ///< grid points explored
+    int evaluated_points = 0;  ///< synthesis runs actually executed
+    int cache_hits = 0;        ///< points served from the cache
+    int total_designs = 0;     ///< design points over all grid points
+    int valid_designs = 0;     ///< ... that met every constraint
+    /// Valid designs over distinct architectural points only (repeated
+    /// grid points carry identical copies, counted once here).
+    int unique_valid_designs = 0;
+    int pareto_size = 0;       ///< global front size
+    int dominated_designs = 0; ///< unique valid designs beaten by another
+    int num_threads = 0;       ///< workers that evaluated points (0 when
+                               ///< every point was served from the cache)
+    double elapsed_ms = 0.0;   ///< wall-clock for the whole run
+};
+
+struct ExploreResult {
+    std::vector<ExplorePointResult> points;  ///< in grid enumeration order
+    std::vector<ParetoEntry> pareto;         ///< global front, stable order
+    ExploreStats stats;
+
+    const DesignPoint& design(const ParetoEntry& e) const {
+        return points[static_cast<std::size_t>(e.point_index)]
+            .result.points[static_cast<std::size_t>(e.design_index)];
+    }
+
+    /// Pareto entry with the lowest total power; -1 index pair when the
+    /// front is empty.
+    ParetoEntry best_power() const;
+};
+
+/// Deterministic per-point seed: base_seed mixed with the point's key.
+std::uint64_t explore_point_seed(std::uint64_t base_seed,
+                                 const std::string& point_key);
+
+class Explorer {
+  public:
+    Explorer(DesignSpec spec, SynthesisConfig base_cfg,
+             ExploreOptions opts = {});
+
+    const DesignSpec& spec() const { return spec_; }
+    const SynthesisConfig& base_config() const { return base_cfg_; }
+    const ExploreOptions& options() const { return opts_; }
+
+    /// Evaluate every point of `grid`. Thread-safe; the cache is shared
+    /// across concurrent and successive runs.
+    ExploreResult run(const ParamGrid& grid) const;
+
+    /// Entries in the cross-run evaluation cache.
+    std::size_t cache_size() const;
+
+  private:
+    DesignSpec spec_;
+    SynthesisConfig base_cfg_;
+    ExploreOptions opts_;
+
+    mutable std::mutex cache_mu_;
+    mutable std::unordered_map<std::string, SynthesisResult> cache_;
+};
+
+/// Global Pareto front over all valid designs of all points, with the
+/// same (total power, avg latency, NoC area) dominance rule as
+/// pareto_front(). Order: by point index, then design index. Repeated
+/// architectural points (equal key()) carry identical copies of the same
+/// designs; only the first occurrence contributes to the front.
+std::vector<ParetoEntry> global_pareto(
+    const std::vector<ExplorePointResult>& points);
+
+}  // namespace sunfloor

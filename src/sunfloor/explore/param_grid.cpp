@@ -1,0 +1,192 @@
+#include "sunfloor/explore/param_grid.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+namespace {
+
+double phase_value(SynthesisPhase p) {
+    switch (p) {
+        case SynthesisPhase::Phase1: return 1.0;
+        case SynthesisPhase::Phase2: return 2.0;
+        case SynthesisPhase::Auto: break;
+    }
+    return 0.0;
+}
+
+SynthesisPhase value_phase(double v) {
+    if (v == 1.0) return SynthesisPhase::Phase1;
+    if (v == 2.0) return SynthesisPhase::Phase2;
+    return SynthesisPhase::Auto;
+}
+
+/// Exact textual form of a double: the hex of its bit pattern.
+std::string double_bits(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return format("%016llx", static_cast<unsigned long long>(bits));
+}
+
+}  // namespace
+
+ParamAxis ParamAxis::frequencies_hz(std::vector<double> hz) {
+    return {ParamKind::FrequencyHz, std::move(hz)};
+}
+
+ParamAxis ParamAxis::max_tsvs(std::vector<int> budgets) {
+    ParamAxis a{ParamKind::MaxTsvs, {}};
+    for (int b : budgets) a.values.push_back(b);
+    return a;
+}
+
+ParamAxis ParamAxis::link_widths_bits(std::vector<int> widths) {
+    ParamAxis a{ParamKind::LinkWidthBits, {}};
+    for (int w : widths) a.values.push_back(w);
+    return a;
+}
+
+ParamAxis ParamAxis::phases(std::vector<SynthesisPhase> phases) {
+    ParamAxis a{ParamKind::Phase, {}};
+    for (SynthesisPhase p : phases) a.values.push_back(phase_value(p));
+    return a;
+}
+
+ParamAxis ParamAxis::thetas(std::vector<double> thetas) {
+    return {ParamKind::Theta, std::move(thetas)};
+}
+
+SynthesisConfig GridPoint::apply(const SynthesisConfig& base) const {
+    SynthesisConfig cfg = base;
+    cfg.eval.freq_hz = freq_hz;
+    cfg.max_ill = max_tsvs;
+    if (link_width_bits != cfg.eval.lib.params().flit_width_bits) {
+        // The whole datapath widens with the flit: per-flit switch, NI and
+        // wire energy and the crossbar/port area all scale with the bits
+        // per flit, while flits/second shrink — wider links trade area and
+        // idle power for serialization latency rather than winning on
+        // every objective.
+        const double scale =
+            static_cast<double>(link_width_bits) /
+            static_cast<double>(cfg.eval.lib.params().flit_width_bits);
+        NocTechParams lp = cfg.eval.lib.params();
+        lp.flit_width_bits = link_width_bits;
+        lp.switch_e0_pj *= scale;
+        lp.switch_e1_pj_per_port *= scale;
+        lp.switch_area_a1_mm2 *= scale;
+        lp.switch_area_a2_mm2 *= scale;
+        lp.ni_energy_pj *= scale;
+        cfg.eval.lib = NocLibrary(lp);
+        WireParams wp = cfg.eval.wire.params();
+        wp.energy_pj_per_flit_mm *= scale;
+        cfg.eval.wire = WireModel(wp);
+    }
+    if (theta != kSweepTheta) {
+        // Pin Algorithm 1's sweep to exactly this theta. theta_max stays
+        // the normalization bound of Eq. 1's new-edge weight, so the
+        // pinned run reproduces the sweep's theta-th iteration; a step
+        // wider than the remaining range keeps the loop to one pass.
+        cfg.theta_min = theta;
+        if (cfg.theta_max < theta) cfg.theta_max = theta;
+        cfg.theta_step = cfg.theta_max - theta + 1.0;
+    }
+    return cfg;
+}
+
+std::string GridPoint::key() const {
+    return format("f=%s;tsv=%d;w=%d;ph=%s;th=%s", double_bits(freq_hz).c_str(),
+                  max_tsvs, link_width_bits, phase_to_string(phase),
+                  double_bits(theta).c_str());
+}
+
+std::string GridPoint::label() const {
+    std::string s = format("f=%.0fMHz tsv=%d w=%d phase=%s", freq_hz / 1e6,
+                           max_tsvs, link_width_bits, phase_to_string(phase));
+    if (theta != kSweepTheta) s += format(" theta=%g", theta);
+    return s;
+}
+
+ParamGrid::ParamGrid() {
+    const GridPoint d;
+    axes_ = {
+        {ParamKind::FrequencyHz, {d.freq_hz}},
+        {ParamKind::MaxTsvs, {static_cast<double>(d.max_tsvs)}},
+        {ParamKind::LinkWidthBits, {static_cast<double>(d.link_width_bits)}},
+        {ParamKind::Phase, {phase_value(d.phase)}},
+        {ParamKind::Theta, {d.theta}},
+    };
+}
+
+void ParamGrid::set_axis(const ParamAxis& axis) {
+    if (axis.values.empty())
+        throw std::invalid_argument("ParamGrid: empty axis");
+    for (double v : axis.values) {
+        switch (axis.kind) {
+            case ParamKind::FrequencyHz:
+                if (v <= 0.0)
+                    throw std::invalid_argument("ParamGrid: frequency <= 0");
+                break;
+            case ParamKind::MaxTsvs:
+                if (v < 1.0)
+                    throw std::invalid_argument("ParamGrid: max_tsvs < 1");
+                break;
+            case ParamKind::LinkWidthBits:
+                if (v < 1.0)
+                    throw std::invalid_argument("ParamGrid: link width < 1");
+                break;
+            case ParamKind::Phase:
+                // Round-trip through the one enum<->double codec: any
+                // value outside its range collapses to Auto and fails.
+                if (phase_value(value_phase(v)) != v)
+                    throw std::invalid_argument("ParamGrid: bad phase");
+                break;
+            case ParamKind::Theta:
+                // theta divides Eq. 1's inter-layer edge weights.
+                if (v != kSweepTheta && v <= 0.0)
+                    throw std::invalid_argument("ParamGrid: theta <= 0");
+                break;
+        }
+    }
+    axes_[static_cast<std::size_t>(axis.kind)] = axis;
+}
+
+const ParamAxis& ParamGrid::axis(ParamKind kind) const {
+    return axes_[static_cast<std::size_t>(kind)];
+}
+
+void ParamGrid::set_filter(std::function<bool(const GridPoint&)> keep) {
+    keep_ = std::move(keep);
+}
+
+std::size_t ParamGrid::cartesian_size() const {
+    std::size_t n = 1;
+    for (const auto& a : axes_) n *= a.values.size();
+    return n;
+}
+
+std::vector<GridPoint> ParamGrid::enumerate() const {
+    std::vector<GridPoint> points;
+    points.reserve(cartesian_size());
+    for (double f : axis(ParamKind::FrequencyHz).values)
+        for (double tsv : axis(ParamKind::MaxTsvs).values)
+            for (double w : axis(ParamKind::LinkWidthBits).values)
+                for (double ph : axis(ParamKind::Phase).values)
+                    for (double th : axis(ParamKind::Theta).values) {
+                        GridPoint p;
+                        p.freq_hz = f;
+                        p.max_tsvs = static_cast<int>(tsv);
+                        p.link_width_bits = static_cast<int>(w);
+                        p.phase = value_phase(ph);
+                        p.theta = th;
+                        if (keep_ && !keep_(p)) continue;
+                        p.index = static_cast<int>(points.size());
+                        points.push_back(p);
+                    }
+    return points;
+}
+
+}  // namespace sunfloor

@@ -1,0 +1,100 @@
+// Architectural parameter grid for design-space exploration.
+//
+// The paper's outer loop (Fig. 3) varies "the NoC architectural
+// parameters, such as frequency of operation" and repeats the topology
+// design process for each architectural point. ParamGrid names the axes
+// that loop can vary — operating frequency, TSV budget (max inter-layer
+// links), link width, synthesis phase and the PG/SPG theta — and
+// enumerates their cartesian product, optionally pruned by a user
+// predicate (e.g. "skip wide links at low frequency").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+#include "sunfloor/core/synthesizer.h"
+
+namespace sunfloor {
+
+/// The architectural axes the explorer can sweep.
+enum class ParamKind {
+    FrequencyHz,    ///< operating frequency (Hz)
+    /// TSV yield budget expressed in *inter-layer links* (the paper's
+    /// max_ill translation, Section IV), NOT raw TSV counts — use
+    /// TsvModel::max_ill_for_tsv_budget to convert a physical budget.
+    MaxTsvs,
+    LinkWidthBits,  ///< flit/link width in bits
+    Phase,          ///< synthesis phase: 0 = auto, 1, 2
+    Theta,          ///< fixed SPG theta; kSweepTheta = Algorithm 1's sweep
+};
+
+/// Sentinel theta meaning "keep the config's theta_min..theta_max sweep".
+inline constexpr double kSweepTheta = -1.0;
+
+/// One axis: a kind plus the values to try (ints are stored as doubles).
+struct ParamAxis {
+    ParamKind kind;
+    std::vector<double> values;
+
+    static ParamAxis frequencies_hz(std::vector<double> hz);
+    static ParamAxis max_tsvs(std::vector<int> budgets);
+    static ParamAxis link_widths_bits(std::vector<int> widths);
+    static ParamAxis phases(std::vector<SynthesisPhase> phases);
+    static ParamAxis thetas(std::vector<double> thetas);
+};
+
+/// One architectural point of the grid.
+struct GridPoint {
+    int index = 0;  ///< position in the (pruned) enumeration order
+    double freq_hz = 400e6;
+    int max_tsvs = 25;
+    int link_width_bits = 32;
+    SynthesisPhase phase = SynthesisPhase::Auto;
+    double theta = kSweepTheta;
+
+    /// Copy `base` with this point's parameters applied. Link width scales
+    /// the library flit width and the per-flit wire energy proportionally.
+    SynthesisConfig apply(const SynthesisConfig& base) const;
+
+    /// Stable textual identity of the architectural point (exact — doubles
+    /// are rendered from their bit patterns). Two points with equal keys
+    /// produce identical synthesis runs; the explorer's cache and the
+    /// per-point RNG seeding both key off this.
+    std::string key() const;
+
+    /// Human-readable label, e.g. "f=400MHz tsv=25 w=32 phase=auto".
+    std::string label() const;
+};
+
+/// Cartesian grid over the five axes with optional pruning. Axes default
+/// to a single value each (400 MHz, 25 TSVs, 32 bits, auto phase, theta
+/// sweep), so setting one axis yields a classic 1-D sweep.
+class ParamGrid {
+  public:
+    ParamGrid();
+
+    /// Replace the axis of `axis.kind`. Throws std::invalid_argument when
+    /// `axis.values` is empty or contains an out-of-domain value.
+    void set_axis(const ParamAxis& axis);
+
+    const ParamAxis& axis(ParamKind kind) const;
+
+    /// Keep-predicate applied during enumeration; pruned points get no
+    /// index. Pass nullptr to clear.
+    void set_filter(std::function<bool(const GridPoint&)> keep);
+
+    /// Product of the axis sizes, before pruning.
+    std::size_t cartesian_size() const;
+
+    /// All surviving points in deterministic nested order (frequency
+    /// outermost, theta innermost), with `index` set consecutively.
+    std::vector<GridPoint> enumerate() const;
+
+  private:
+    std::vector<ParamAxis> axes_;  ///< indexed by ParamKind
+    std::function<bool(const GridPoint&)> keep_;
+};
+
+}  // namespace sunfloor

@@ -3,8 +3,9 @@
 // Usage:
 //   sunfloor_cli --design <file> [options]         # Section IV input file
 //   sunfloor_cli --benchmark <name> [options]      # built-in benchmark
+//   sunfloor_cli explore (--design <file> | --benchmark <name>) [options]
 //
-// Options:
+// Synthesis options:
 //   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
 //   --max-ill <n>             inter-layer link budget    (default 25)
 //   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
@@ -14,12 +15,26 @@
 //   --out <prefix>            write <prefix>_topology.dot,
 //                             <prefix>_layer<k>.svg, <prefix>_points.csv
 //   --list-benchmarks         print built-in benchmark names and exit
+//
+// Explore options (each *-list axis expands the parameter grid):
+//   --freq <MHz>[,...]        frequency axis             (default 400)
+//   --max-tsvs <n>[,...]      TSV budget axis, in inter-layer links
+//                             (the paper's max_ill)      (default 25)
+//   --width <bits>[,...]      link width axis            (default 32)
+//   --phase <auto|1|2>[,...]  synthesis phase axis       (default auto)
+//   --theta <v>[,...]         fixed-theta axis           (default sweep)
+//   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
+//   --threads <n>             worker threads; 0 = all cores (default 0)
+//   --no-cache                disable the evaluation cache
+//   --out <prefix>            write <prefix>_explore.csv, _explore.json
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sunfloor/core/synthesizer.h"
+#include "sunfloor/explore/explorer.h"
+#include "sunfloor/explore/export.h"
 #include "sunfloor/floorplan/annealer.h"
 #include "sunfloor/io/dot.h"
 #include "sunfloor/io/floorplan_dump.h"
@@ -36,14 +51,223 @@ int usage(const char* argv0) {
                  "usage: %s (--design <file> | --benchmark <name>) "
                  "[--freq MHz[,MHz...]] [--max-ill N] [--alpha A] "
                  "[--phase auto|1|2] [--seed N] [--no-floorplan] "
-                 "[--out prefix] [--list-benchmarks]\n",
-                 argv0);
+                 "[--out prefix] [--list-benchmarks]\n"
+                 "       %s explore (--design <file> | --benchmark <name>) "
+                 "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
+                 "[--phase auto|1|2[,...]] [--theta V[,...]] [--alpha A] "
+                 "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
+                 "[--out prefix]\n",
+                 argv0, argv0);
     return 2;
 }
 
-}  // namespace
+/// Load a design file, or a benchmark with the annealed placement the
+/// benches use. Returns false (with a message on stderr) on failure.
+bool load_spec(const std::string& design_file, const std::string& benchmark,
+               DesignSpec& spec) {
+    if (!design_file.empty()) {
+        const ParseResult parsed = parse_design_file(design_file);
+        if (!parsed.ok) {
+            std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+            return false;
+        }
+        spec = parsed.spec;
+        return true;
+    }
+    try {
+        spec = make_benchmark(benchmark);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return false;
+    }
+    AnnealOptions fopts;
+    fopts.wirelength_weight = 5e-4;
+    Rng rng(42);
+    floorplan_design_layers(spec.cores, spec.comm, fopts, rng);
+    return true;
+}
 
-int main(int argc, char** argv) {
+/// Parse a "400,600" MHz list into Hz, shared by both subcommands; prints
+/// the offending token and returns false on a malformed or non-positive
+/// entry.
+bool parse_freq_list_hz(const char* arg, std::vector<double>& out) {
+    out.clear();
+    for (const auto& part : split(arg, ',')) {
+        double mhz = 0.0;
+        if (!parse_double(part, mhz) || mhz <= 0.0) {
+            std::fprintf(stderr, "bad --freq value '%s'\n", part.c_str());
+            return false;
+        }
+        out.push_back(mhz * 1e6);
+    }
+    return !out.empty();
+}
+
+bool parse_double_list(const char* arg, std::vector<double>& out) {
+    out.clear();
+    for (const auto& part : split(arg, ',')) {
+        double v = 0.0;
+        if (!parse_double(part, v)) return false;
+        out.push_back(v);
+    }
+    return !out.empty();
+}
+
+bool parse_int_list(const char* arg, std::vector<int>& out) {
+    out.clear();
+    for (const auto& part : split(arg, ',')) {
+        int v = 0;
+        if (!parse_int(part, v)) return false;
+        out.push_back(v);
+    }
+    return !out.empty();
+}
+
+int run_explore(int argc, char** argv) {
+    std::string design_file;
+    std::string benchmark;
+    std::string out_prefix;
+    SynthesisConfig cfg;
+    ExploreOptions opts;
+    opts.num_threads = 0;  // all cores
+    ParamGrid grid;
+
+    for (int i = 2; i < argc; ++i) try {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--design") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            design_file = v;
+        } else if (arg == "--benchmark") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            benchmark = v;
+        } else if (arg == "--freq") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            std::vector<double> hz;
+            if (!parse_freq_list_hz(v, hz)) return 2;
+            grid.set_axis(ParamAxis::frequencies_hz(hz));
+        } else if (arg == "--max-tsvs") {
+            const char* v = next();
+            std::vector<int> tsvs;
+            if (!v || !parse_int_list(v, tsvs)) return usage(argv[0]);
+            grid.set_axis(ParamAxis::max_tsvs(tsvs));
+        } else if (arg == "--width") {
+            const char* v = next();
+            std::vector<int> widths;
+            if (!v || !parse_int_list(v, widths)) return usage(argv[0]);
+            grid.set_axis(ParamAxis::link_widths_bits(widths));
+        } else if (arg == "--phase") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            std::vector<SynthesisPhase> phases;
+            for (const auto& part : split(v, ',')) {
+                SynthesisPhase p;
+                if (!phase_from_string(part, p)) return usage(argv[0]);
+                phases.push_back(p);
+            }
+            grid.set_axis(ParamAxis::phases(phases));
+        } else if (arg == "--theta") {
+            const char* v = next();
+            std::vector<double> thetas;
+            if (!v || !parse_double_list(v, thetas)) return usage(argv[0]);
+            grid.set_axis(ParamAxis::thetas(thetas));
+        } else if (arg == "--alpha") {
+            const char* v = next();
+            if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
+        } else if (arg == "--threads") {
+            const char* v = next();
+            if (!v || !parse_int(v, opts.num_threads)) return usage(argv[0]);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            int seed = 0;
+            if (!v || !parse_int(v, seed)) return usage(argv[0]);
+            opts.base_seed = static_cast<std::uint64_t>(seed);
+        } else if (arg == "--no-floorplan") {
+            cfg.run_floorplan = false;
+        } else if (arg == "--no-cache") {
+            opts.use_cache = false;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            out_prefix = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    } catch (const std::invalid_argument& e) {  // out-of-domain axis value
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+
+    DesignSpec spec;
+    if (!load_spec(design_file, benchmark, spec)) return 1;
+    std::printf("design '%s': %d cores, %d layers, %d flows\n",
+                spec.name.c_str(), spec.cores.num_cores(),
+                spec.cores.num_layers(), spec.comm.num_flows());
+    std::printf("grid: %zu architectural points\n", grid.cartesian_size());
+
+    const Explorer explorer(spec, cfg, opts);
+    const ExploreResult res = explorer.run(grid);
+
+    const auto& st = res.stats;
+    std::printf(
+        "\nexplored %d points on %d thread(s) in %.0f ms "
+        "(%d evaluated, %d cache hits)\n",
+        st.total_points, st.num_threads, st.elapsed_ms, st.evaluated_points,
+        st.cache_hits);
+    std::printf("%d/%d valid designs, global Pareto front: %d points\n",
+                st.valid_designs, st.total_designs, st.pareto_size);
+
+    Table front({"label", "switches", "power_mw", "latency_cycles",
+                 "area_mm2"});
+    for (const auto& e : res.pareto) {
+        const auto& pr = res.points[static_cast<std::size_t>(e.point_index)];
+        const DesignPoint& dp = res.design(e);
+        front.add_row({pr.point.label(),
+                       static_cast<long long>(dp.switch_count),
+                       dp.report.power.total_mw(),
+                       dp.report.avg_latency_cycles,
+                       dp.report.noc_area_mm2()});
+    }
+    std::printf("\n");
+    front.write_pretty(std::cout);
+
+    // Export before the validity check: the fail_reason column is most
+    // useful exactly when nothing in the grid was feasible.
+    if (!out_prefix.empty()) {
+        if (!save_explore_csv(out_prefix + "_explore.csv", res) ||
+            !save_explore_json(out_prefix + "_explore.json", res,
+                               spec.name)) {
+            std::fprintf(stderr, "failed to write %s_explore.{csv,json}\n",
+                         out_prefix.c_str());
+            return 1;
+        }
+        std::printf("wrote %s_explore.csv, %s_explore.json\n",
+                    out_prefix.c_str(), out_prefix.c_str());
+    }
+
+    const ParetoEntry bp = res.best_power();
+    if (bp.point_index < 0) {
+        std::fprintf(stderr, "\nno valid design point anywhere in the grid\n");
+        return 1;
+    }
+    const auto& bpr =
+        res.points[static_cast<std::size_t>(bp.point_index)];
+    const DesignPoint& bdp = res.design(bp);
+    std::printf("\noverall best: %s, %d switches, %.2f mW NoC power, "
+                "%.2f cycles\n",
+                bpr.point.label().c_str(), bdp.switch_count,
+                bdp.report.power.noc_mw(), bdp.report.avg_latency_cycles);
+    return 0;
+}
+
+int run_synthesize(int argc, char** argv) {
     std::string design_file;
     std::string benchmark;
     std::string out_prefix;
@@ -71,16 +295,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--freq") {
             const char* v = next();
             if (!v) return usage(argv[0]);
-            freqs_hz.clear();
-            for (const auto& part : split(v, ',')) {
-                double mhz = 0.0;
-                if (!parse_double(part, mhz) || mhz <= 0.0) {
-                    std::fprintf(stderr, "bad --freq value '%s'\n",
-                                 part.c_str());
-                    return 2;
-                }
-                freqs_hz.push_back(mhz * 1e6);
-            }
+            if (!parse_freq_list_hz(v, freqs_hz)) return 2;
         } else if (arg == "--max-ill") {
             const char* v = next();
             if (!v || !parse_int(v, cfg.max_ill)) return usage(argv[0]);
@@ -89,16 +304,7 @@ int main(int argc, char** argv) {
             if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
         } else if (arg == "--phase") {
             const char* v = next();
-            if (!v) return usage(argv[0]);
-            const std::string p = v;
-            if (p == "auto")
-                phase = SynthesisPhase::Auto;
-            else if (p == "1")
-                phase = SynthesisPhase::Phase1;
-            else if (p == "2")
-                phase = SynthesisPhase::Phase2;
-            else
-                return usage(argv[0]);
+            if (!v || !phase_from_string(v, phase)) return usage(argv[0]);
         } else if (arg == "--seed") {
             const char* v = next();
             int seed = 0;
@@ -118,25 +324,7 @@ int main(int argc, char** argv) {
     if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
 
     DesignSpec spec;
-    if (!design_file.empty()) {
-        const ParseResult parsed = parse_design_file(design_file);
-        if (!parsed.ok) {
-            std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
-            return 1;
-        }
-        spec = parsed.spec;
-    } else {
-        try {
-            spec = make_benchmark(benchmark);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "%s\n", e.what());
-            return 1;
-        }
-        AnnealOptions fopts;
-        fopts.wirelength_weight = 5e-4;
-        Rng rng(42);
-        floorplan_design_layers(spec.cores, spec.comm, fopts, rng);
-    }
+    if (!load_spec(design_file, benchmark, spec)) return 1;
     std::printf("design '%s': %d cores, %d layers, %d flows\n",
                 spec.name.c_str(), spec.cores.num_cores(),
                 spec.cores.num_layers(), spec.comm.num_flows());
@@ -172,4 +360,12 @@ int main(int argc, char** argv) {
                     out_prefix.c_str());
     }
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc > 1 && std::string(argv[1]) == "explore")
+        return run_explore(argc, argv);
+    return run_synthesize(argc, argv);
 }

@@ -7,20 +7,21 @@ std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
 }
 
-// splitmix64, used only to expand the seed into the xoshiro state.
-std::uint64_t splitmix64(std::uint64_t& state) {
-    state += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 }  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
 
 Rng::Rng(std::uint64_t seed) {
     std::uint64_t sm = seed;
-    for (auto& s : s_) s = splitmix64(sm);
+    for (auto& s : s_) {
+        s = splitmix64(sm);
+        sm += 0x9e3779b97f4a7c15ULL;
+    }
     // A state of all zeros is the one fixed point of xoshiro; splitmix64
     // cannot produce four consecutive zeros, but guard anyway.
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;

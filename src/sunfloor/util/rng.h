@@ -10,6 +10,11 @@
 
 namespace sunfloor {
 
+/// One splitmix64 step: mix(x + golden gamma). Pure; used to expand Rng
+/// seeds into state and to derive independent per-task seed streams
+/// (repeat with x + 0x9e3779b97f4a7c15 to walk the sequence).
+std::uint64_t splitmix64(std::uint64_t x);
+
 /// xoshiro256** generator. Small, fast, and with a well-understood state
 /// space; we avoid std::mt19937 so that results are identical across
 /// standard-library implementations.

@@ -1,0 +1,158 @@
+// Unit tests for the exploration parameter grid.
+#include <gtest/gtest.h>
+
+#include "sunfloor/explore/param_grid.h"
+
+namespace sunfloor {
+namespace {
+
+TEST(ParamGrid, DefaultIsSinglePoint) {
+    ParamGrid grid;
+    EXPECT_EQ(grid.cartesian_size(), 1u);
+    const auto points = grid.enumerate();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].freq_hz, 400e6);
+    EXPECT_EQ(points[0].max_tsvs, 25);
+    EXPECT_EQ(points[0].link_width_bits, 32);
+    EXPECT_EQ(points[0].phase, SynthesisPhase::Auto);
+    EXPECT_EQ(points[0].theta, kSweepTheta);
+}
+
+TEST(ParamGrid, CartesianSizeIsAxisProduct) {
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6, 500e6}));
+    grid.set_axis(ParamAxis::max_tsvs({10, 25}));
+    grid.set_axis(ParamAxis::link_widths_bits({32, 64}));
+    grid.set_axis(ParamAxis::phases(
+        {SynthesisPhase::Phase1, SynthesisPhase::Phase2}));
+    grid.set_axis(ParamAxis::thetas({1.0, 4.0, 7.0}));
+    EXPECT_EQ(grid.cartesian_size(), 3u * 2u * 2u * 2u * 3u);
+    EXPECT_EQ(grid.enumerate().size(), grid.cartesian_size());
+}
+
+TEST(ParamGrid, EnumerationOrderIsNestedAndIndexed) {
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6}));
+    grid.set_axis(ParamAxis::max_tsvs({10, 25}));
+    const auto points = grid.enumerate();
+    ASSERT_EQ(points.size(), 4u);
+    // Frequency is the outer loop, TSV budget inner.
+    EXPECT_DOUBLE_EQ(points[0].freq_hz, 300e6);
+    EXPECT_EQ(points[0].max_tsvs, 10);
+    EXPECT_DOUBLE_EQ(points[1].freq_hz, 300e6);
+    EXPECT_EQ(points[1].max_tsvs, 25);
+    EXPECT_DOUBLE_EQ(points[2].freq_hz, 400e6);
+    EXPECT_EQ(points[2].max_tsvs, 10);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, static_cast<int>(i));
+}
+
+TEST(ParamGrid, FilterPrunesAndReindexes) {
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6, 500e6}));
+    grid.set_axis(ParamAxis::link_widths_bits({32, 64}));
+    grid.set_filter([](const GridPoint& p) {
+        // e.g. wide links only make sense at low frequency
+        return !(p.link_width_bits == 64 && p.freq_hz > 350e6);
+    });
+    const auto points = grid.enumerate();
+    EXPECT_EQ(grid.cartesian_size(), 6u);
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, static_cast<int>(i));
+        EXPECT_FALSE(points[i].link_width_bits == 64 &&
+                     points[i].freq_hz > 350e6);
+    }
+    grid.set_filter(nullptr);
+    EXPECT_EQ(grid.enumerate().size(), 6u);
+}
+
+TEST(ParamGrid, RejectsInvalidAxes) {
+    ParamGrid grid;
+    EXPECT_THROW(grid.set_axis(ParamAxis::frequencies_hz({})),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis::frequencies_hz({-1.0})),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis::max_tsvs({0})),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis::link_widths_bits({0})),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis{ParamKind::Phase, {3.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis::thetas({-2.0})),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.set_axis(ParamAxis::thetas({0.0})),
+                 std::invalid_argument);
+}
+
+TEST(GridPoint, ApplyMapsParametersIntoConfig) {
+    GridPoint p;
+    p.freq_hz = 500e6;
+    p.max_tsvs = 12;
+    p.link_width_bits = 64;
+    p.theta = 4.0;
+
+    SynthesisConfig base;
+    const SynthesisConfig cfg = p.apply(base);
+    EXPECT_DOUBLE_EQ(cfg.eval.freq_hz, 500e6);
+    EXPECT_EQ(cfg.max_ill, 12);
+    EXPECT_EQ(cfg.eval.lib.params().flit_width_bits, 64);
+    // The whole datapath scales with the flit width: wire energy, switch
+    // per-flit energy, crossbar area, NI energy.
+    EXPECT_DOUBLE_EQ(cfg.eval.wire.params().energy_pj_per_flit_mm,
+                     base.eval.wire.params().energy_pj_per_flit_mm * 2.0);
+    EXPECT_DOUBLE_EQ(cfg.eval.lib.params().switch_e0_pj,
+                     base.eval.lib.params().switch_e0_pj * 2.0);
+    EXPECT_DOUBLE_EQ(cfg.eval.lib.params().switch_area_a2_mm2,
+                     base.eval.lib.params().switch_area_a2_mm2 * 2.0);
+    EXPECT_DOUBLE_EQ(cfg.eval.lib.params().ni_energy_pj,
+                     base.eval.lib.params().ni_energy_pj * 2.0);
+    // Fixed theta pins the sweep to one iteration but keeps the base
+    // theta_max as Eq. 1's normalization bound.
+    EXPECT_DOUBLE_EQ(cfg.theta_min, 4.0);
+    EXPECT_DOUBLE_EQ(cfg.theta_max, base.theta_max);
+    EXPECT_GT(cfg.theta_min + cfg.theta_step, cfg.theta_max);
+
+    // A fixed theta above the base bound raises the bound to itself.
+    p.theta = base.theta_max + 5.0;
+    const SynthesisConfig hi = p.apply(base);
+    EXPECT_DOUBLE_EQ(hi.theta_min, hi.theta_max);
+}
+
+TEST(GridPoint, ApplyWithSweepThetaKeepsConfigSweep) {
+    GridPoint p;  // theta = kSweepTheta
+    SynthesisConfig base;
+    base.theta_min = 2.0;
+    base.theta_max = 11.0;
+    const SynthesisConfig cfg = p.apply(base);
+    EXPECT_DOUBLE_EQ(cfg.theta_min, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.theta_max, 11.0);
+}
+
+TEST(GridPoint, KeyIsExactIdentity) {
+    GridPoint a;
+    GridPoint b;
+    EXPECT_EQ(a.key(), b.key());
+    b.freq_hz = a.freq_hz + 1e-6;  // tiny but real difference
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.phase = SynthesisPhase::Phase2;
+    EXPECT_NE(a.key(), b.key());
+    // index is bookkeeping, not identity
+    b = a;
+    b.index = 7;
+    EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(GridPoint, LabelMentionsParameters) {
+    GridPoint p;
+    p.freq_hz = 400e6;
+    p.theta = 4.0;
+    const std::string label = p.label();
+    EXPECT_NE(label.find("400MHz"), std::string::npos);
+    EXPECT_NE(label.find("tsv=25"), std::string::npos);
+    EXPECT_NE(label.find("theta=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sunfloor

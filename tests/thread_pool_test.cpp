@@ -1,0 +1,99 @@
+// Unit tests for the worker pool under the exploration engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sunfloor/util/thread_pool.h"
+
+namespace sunfloor {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+    ThreadPool pool(2);
+    pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(hits.size(),
+                      [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndFewerItemsThanThreads) {
+    ThreadPool pool(8);
+    pool.parallel_for(0, [](std::size_t) { FAIL(); });
+    std::atomic<int> count{0};
+    pool.parallel_for(3, [&count](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallel_for(100, [&sum](std::size_t i) {
+            sum += static_cast<long>(i);
+        });
+    EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&count](std::size_t i) {
+                                       if (i == 17)
+                                           throw std::runtime_error("boom");
+                                       ++count;
+                                   }),
+                 std::runtime_error);
+    // Indices claimed before the failure ran; the rest were abandoned.
+    EXPECT_GE(count.load(), 17);
+    EXPECT_LE(count.load(), 99);
+    // The pool stays usable afterwards.
+    const int before = count.load();
+    pool.parallel_for(10, [&count](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), before + 10);
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionDoesNotWedgeThePool) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([] { throw std::runtime_error("dropped"); });
+    pool.submit([&count] { ++count; });
+    pool.wait_idle();  // must not hang on the failed task's busy count
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+    EXPECT_GE(ThreadPool::default_thread_count(), 1);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.num_threads(), ThreadPool::default_thread_count());
+}
+
+}  // namespace
+}  // namespace sunfloor
