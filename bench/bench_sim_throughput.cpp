@@ -1,0 +1,105 @@
+// Latency-vs-injection-rate curves of the flit-level simulator on the
+// paper benchmarks.
+//
+// For each of the five benchmark families, the best-power synthesized
+// topology is driven at a sweep of injection scales (fractions of the
+// specified flow bandwidths). The counters per point are the classic
+// NoC load-latency curve: average/p99 packet latency, offered and
+// accepted throughput, and the analytic zero-load latency as the
+// floor the curve lifts off from. run_benches.sh parses the JSON
+// output into BENCH_sim.json.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common.h"
+#include "sunfloor/noc/evaluation.h"
+#include "sunfloor/sim/simulator.h"
+
+using namespace sunfloor;
+using namespace sunfloor::bench;
+
+namespace {
+
+constexpr const char* kBenchmarks[] = {"D_26_media", "D_36_4", "D_35_bot",
+                                       "D_65_pipe", "D_38_tvopd"};
+constexpr double kRates[] = {0.25, 0.5, 0.75, 1.0, 1.25};
+
+struct Prepared {
+    DesignSpec spec;
+    SynthesisConfig cfg;
+    SynthesisResult result;
+    int best = -1;
+};
+
+/// One synthesis per benchmark, shared by all rate points.
+const Prepared& prepared(const std::string& name) {
+    static std::map<std::string, Prepared> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        Prepared p;
+        p.spec = prepared_benchmark(name);
+        p.cfg = paper_cfg();
+        p.cfg.run_floorplan = false;  // simulation needs only LP positions
+        p.cfg.max_switches = 8;       // bound the per-benchmark sweep
+        p.result = run_synthesis(p.spec, p.cfg);
+        p.best = p.result.best_power_index();
+        it = cache.emplace(name, std::move(p)).first;
+    }
+    return it->second;
+}
+
+void BM_sim(benchmark::State& state, const std::string& name, double rate) {
+    const Prepared& p = prepared(name);
+    if (p.best < 0) {
+        state.SkipWithError("no valid design point");
+        return;
+    }
+    const DesignPoint& dp =
+        p.result.points[static_cast<std::size_t>(p.best)];
+
+    sim::SimParams sp;
+    sp.inject.injection_scale = rate;
+    sp.inject.packet_length_flits = 4;
+    sp.warmup_cycles = 2000;
+    sp.measure_cycles = 10000;
+
+    sim::SimReport rep;
+    for (auto _ : state) {
+        rep = sim::simulate(dp.topo, p.spec, p.cfg.eval, sp);
+        benchmark::DoNotOptimize(rep.received_packets);
+    }
+    state.counters["rate"] = rate;
+    state.counters["offered_fpc"] = rep.offered_flits_per_cycle;
+    state.counters["accepted_fpc"] = rep.accepted_flits_per_cycle;
+    state.counters["avg_latency_cycles"] = rep.avg_latency_cycles;
+    state.counters["p99_latency_cycles"] = rep.p99_latency_cycles;
+    state.counters["zero_load_cycles"] = dp.report.avg_latency_cycles;
+    state.counters["drained"] = rep.drained ? 1.0 : 0.0;
+    state.counters["switches"] = dp.switch_count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Banner on stderr: run_benches.sh parses this bench's stdout as JSON.
+    std::fprintf(stderr,
+                 "Flit-level simulation: latency vs injection rate\n"
+                 "(contention curves on the SunFloor 3D paper benchmarks;\n"
+                 "rate 1.0 offers exactly the specified flow bandwidths)\n"
+                 "expect: latency near the zero-load value at low rates and "
+                 "rising steeply toward saturation.\n\n");
+    for (const char* name : kBenchmarks)
+        for (double rate : kRates)
+            ::benchmark::RegisterBenchmark(
+                (std::string("BM_sim/") + name + "/r" +
+                 std::to_string(rate).substr(0, 4))
+                    .c_str(),
+                [name, rate](benchmark::State& st) {
+                    BM_sim(st, name, rate);
+                })
+                ->Unit(benchmark::kMillisecond);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,25 +1,36 @@
 #!/usr/bin/env bash
-# Run the exploration scaling bench and distill BENCH_explore.json
-# (points/sec per thread count, speedup vs 1 thread) — the start of the
-# repo's performance trajectory. Extra arguments are passed through to
-# the bench binary (e.g. --benchmark_min_time=2x).
+# Run the tracked performance benches and distill their JSON output:
+#   bench_explore_scaling -> BENCH_explore.json (points/sec per thread
+#     count, speedup vs 1 thread)
+#   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
+#     curves per paper benchmark)
+# Extra arguments are passed through to both bench binaries
+# (e.g. --benchmark_min_time=2x).
 #
-# Usage: bench/run_benches.sh [build_dir] [out.json] [bench args...]
+# Usage: bench/run_benches.sh [build_dir] [explore_out.json] [sim_out.json] [bench args...]
+# (the old two-positional form `run_benches.sh build out.json --flag`
+# still works: a leading-dash third argument is a bench flag, not a path)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_explore.json}
+OUT_EXPLORE=${2:-BENCH_explore.json}
+OUT_SIM=BENCH_sim.json
 shift $(( $# >= 2 ? 2 : $# ))
+if [[ $# -ge 1 && ${1} != -* ]]; then
+    OUT_SIM=$1
+    shift
+fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# ------------------------------------------------------ explore scaling
 # min_time well below one exploration => exactly one iteration per
 # thread count (old and new Google Benchmark both accept plain seconds)
 "$BUILD_DIR/bench_explore_scaling" --benchmark_format=json \
     --benchmark_min_time=0.01 "$@" > "$RAW"
 
-python3 - "$RAW" "$OUT" <<'EOF'
+python3 - "$RAW" "$OUT_EXPLORE" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
@@ -51,6 +62,55 @@ out = {
     "bench": "bench_explore_scaling",
     "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
     "threads": {str(t): threads[t] for t in sorted(threads)},
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+EOF
+
+# ------------------------------------------------------ sim throughput
+"$BUILD_DIR/bench_sim_throughput" --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@" > "$RAW"
+
+python3 - "$RAW" "$OUT_SIM" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw.get("benchmarks", []):
+    # Names look like BM_sim/D_36_4/r0.25 (plus a /repeats:N suffix when
+    # --benchmark_repetitions is passed through); skip the aggregate rows
+    # and average per-repetition measurements, as the explore parser does.
+    # Rows from SkipWithError carry no counters — report and skip them.
+    if "aggregate_name" in b:
+        continue
+    if b.get("error_occurred"):
+        print(f"skipping {b['name']}: {b.get('error_message', 'error')}",
+              file=sys.stderr)
+        continue
+    design = b["name"].split("/")[1]
+    rows.setdefault((design, round(b["rate"], 4)), []).append(b)
+curves = {}
+for (design, rate), bs in sorted(rows.items()):
+    n = len(bs)
+    avg = lambda key: sum(b[key] for b in bs) / n
+    curves.setdefault(design, []).append({
+        "rate": rate,
+        "offered_flits_per_cycle": round(avg("offered_fpc"), 4),
+        "accepted_flits_per_cycle": round(avg("accepted_fpc"), 4),
+        "avg_latency_cycles": round(avg("avg_latency_cycles"), 4),
+        "p99_latency_cycles": round(avg("p99_latency_cycles"), 4),
+        "zero_load_cycles": round(avg("zero_load_cycles"), 4),
+        "drained": int(min(b["drained"] for b in bs)),
+        "repetitions": n,
+        "sim_wall_ms": round(avg("real_time"), 3),
+    })
+
+out = {
+    "bench": "bench_sim_throughput",
+    "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
+    "curves": curves,
 }
 with open(sys.argv[2], "w") as f:
     json.dump(out, f, indent=2)

@@ -1,6 +1,7 @@
 #include "sunfloor/explore/explorer.h"
 
 #include <chrono>
+#include <deque>
 #include <unordered_set>
 
 #include "sunfloor/util/thread_pool.h"
@@ -20,9 +21,37 @@ std::uint64_t fnv1a(const std::string& s) {
 
 }  // namespace
 
+const char* backend_to_string(EvalBackend b) {
+    switch (b) {
+        case EvalBackend::Analytic: return "analytic";
+        case EvalBackend::Simulated: return "sim";
+    }
+    return "analytic";
+}
+
+bool backend_from_string(const std::string& s, EvalBackend& out) {
+    if (s == "analytic") {
+        out = EvalBackend::Analytic;
+    } else if (s == "sim" || s == "simulated") {
+        out = EvalBackend::Simulated;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 std::uint64_t explore_point_seed(std::uint64_t base_seed,
                                  const std::string& point_key) {
     return splitmix64(base_seed ^ splitmix64(fnv1a(point_key)));
+}
+
+std::uint64_t explore_sim_seed(std::uint64_t point_seed,
+                               std::uint64_t sim_seed, int design_index) {
+    const std::uint64_t d =
+        splitmix64(sim_seed + 0x9e3779b97f4a7c15ULL *
+                                  (static_cast<std::uint64_t>(design_index) +
+                                   1));
+    return splitmix64(point_seed ^ d);
 }
 
 ParetoEntry ExploreResult::best_power() const {
@@ -38,12 +67,35 @@ ParetoEntry ExploreResult::best_power() const {
     return best;
 }
 
+namespace {
+
+struct Candidate {
+    ParetoEntry entry;
+    const EvalReport* report;
+};
+
+/// All-pairs strict-dominance filter; keeps candidate order.
+std::vector<ParetoEntry> dominance_filter(
+    const std::vector<Candidate>& cands) {
+    std::vector<ParetoEntry> front;
+    for (const auto& a : cands) {
+        bool dominated = false;
+        for (const auto& b : cands) {
+            if (&a == &b) continue;
+            if (dominates(*b.report, *a.report)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) front.push_back(a.entry);
+    }
+    return front;
+}
+
+}  // namespace
+
 std::vector<ParetoEntry> global_pareto(
     const std::vector<ExplorePointResult>& points) {
-    struct Candidate {
-        ParetoEntry entry;
-        const EvalReport* report;
-    };
     // A design dominated within its own point is dominated globally
     // (dominates() is the one shared rule), so only the per-point fronts
     // can survive; this keeps the all-pairs dominance scan below over a
@@ -62,19 +114,36 @@ std::vector<ParetoEntry> global_pareto(
             cands.push_back(
                 {{pi, di}, &ps[static_cast<std::size_t>(di)].report});
     }
-    std::vector<ParetoEntry> front;
-    for (const auto& a : cands) {
-        bool dominated = false;
-        for (const auto& b : cands) {
-            if (&a == &b) continue;
-            if (dominates(*b.report, *a.report)) {
-                dominated = true;
-                break;
+    return dominance_filter(cands);
+}
+
+std::vector<ParetoEntry> global_pareto_measured(
+    const std::vector<ExplorePointResult>& points) {
+    // No per-point prefilter here: pareto_front() ranks by *analytic*
+    // latency and could drop a design that the measured numbers would
+    // keep, so every unique valid design is a candidate. Overridden
+    // reports live in a deque for stable addresses.
+    std::deque<EvalReport> overridden;
+    std::vector<Candidate> cands;
+    std::unordered_set<std::string> seen_keys;
+    for (int pi = 0; pi < static_cast<int>(points.size()); ++pi) {
+        const auto& pr = points[static_cast<std::size_t>(pi)];
+        if (!seen_keys.insert(pr.point.key()).second) continue;
+        for (int di = 0; di < static_cast<int>(pr.result.points.size());
+             ++di) {
+            const auto& dp = pr.result.points[static_cast<std::size_t>(di)];
+            if (!dp.valid) continue;
+            if (const sim::SimReport* sr = pr.sim_report(di)) {
+                overridden.push_back(dp.report);
+                overridden.back().avg_latency_cycles =
+                    sr->avg_latency_cycles;
+                cands.push_back({{pi, di}, &overridden.back()});
+            } else {
+                cands.push_back({{pi, di}, &dp.report});
             }
         }
-        if (!dominated) front.push_back(a.entry);
     }
-    return front;
+    return dominance_filter(cands);
 }
 
 Explorer::Explorer(DesignSpec spec, SynthesisConfig base_cfg,
@@ -168,7 +237,64 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
         }
     }
 
-    out.pareto = global_pareto(out.points);
+    int simulated_designs = 0;
+    if (opts_.backend == EvalBackend::Simulated) {
+        // Simulate every valid design of every *distinct* architectural
+        // point; repeated keys copy the first occurrence's reports (the
+        // derived seeds coincide, so the copy is what a re-run would
+        // produce). Seeds never depend on the worker, keeping N-thread
+        // runs bit-identical to serial ones.
+        struct SimJob {
+            std::size_t point;
+            int design;
+        };
+        std::vector<SimJob> jobs;
+        std::unordered_map<std::string, std::size_t> first_sim_of_key;
+        for (std::size_t i = 0; i < out.points.size(); ++i) {
+            auto& pr = out.points[i];
+            if (!first_sim_of_key.emplace(keys[i], i).second) continue;
+            pr.sim_reports.assign(pr.result.points.size(), sim::SimReport{});
+            for (int d = 0;
+                 d < static_cast<int>(pr.result.points.size()); ++d) {
+                const DesignPoint& dp =
+                    pr.result.points[static_cast<std::size_t>(d)];
+                if (dp.valid && dp.topo.all_flows_routed())
+                    jobs.push_back({i, d});
+            }
+        }
+        const auto simulate_job = [&](std::size_t j) {
+            const SimJob& job = jobs[j];
+            auto& pr = out.points[job.point];
+            const SynthesisConfig cfg = pr.point.apply(base_cfg_);
+            sim::SimParams sp = opts_.sim;
+            sp.seed = explore_sim_seed(pr.seed, opts_.sim.seed, job.design);
+            pr.sim_reports[static_cast<std::size_t>(job.design)] =
+                sim::simulate(
+                    pr.result.points[static_cast<std::size_t>(job.design)]
+                        .topo,
+                    spec_, cfg.eval, sp);
+        };
+        int sim_threads = opts_.num_threads;
+        if (sim_threads <= 0) sim_threads = ThreadPool::default_thread_count();
+        if (sim_threads > static_cast<int>(jobs.size()))
+            sim_threads = static_cast<int>(jobs.size());
+        if (sim_threads <= 1) {
+            for (std::size_t j = 0; j < jobs.size(); ++j) simulate_job(j);
+        } else {
+            ThreadPool pool(sim_threads);
+            pool.parallel_for(jobs.size(), simulate_job);
+        }
+        for (std::size_t i = 0; i < out.points.size(); ++i) {
+            const std::size_t first = first_sim_of_key.at(keys[i]);
+            if (first != i)
+                out.points[i].sim_reports = out.points[first].sim_reports;
+        }
+        simulated_designs = static_cast<int>(jobs.size());
+    }
+
+    out.pareto = opts_.backend == EvalBackend::Simulated
+                     ? global_pareto_measured(out.points)
+                     : global_pareto(out.points);
     for (const auto& e : out.pareto)
         ++out.points[static_cast<std::size_t>(e.point_index)].pareto_survivors;
 
@@ -187,6 +313,8 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     st.pareto_size = static_cast<int>(out.pareto.size());
     st.dominated_designs = st.unique_valid_designs - st.pareto_size;
     st.num_threads = threads;
+    st.backend = opts_.backend;
+    st.simulated_designs = simulated_designs;
     st.elapsed_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

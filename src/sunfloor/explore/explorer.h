@@ -21,8 +21,21 @@
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/explore/param_grid.h"
+#include "sunfloor/sim/simulator.h"
 
 namespace sunfloor {
+
+/// How a synthesized design point is priced for the Pareto merge.
+enum class EvalBackend {
+    Analytic,   ///< zero-load closed form (noc/evaluation.cpp)
+    Simulated,  ///< measured latency from the flit-level simulator
+};
+
+/// "analytic" or "sim" — the single source for CLI parsing and exports.
+const char* backend_to_string(EvalBackend b);
+
+/// Inverse of backend_to_string; returns false on any other input.
+bool backend_from_string(const std::string& s, EvalBackend& out);
 
 struct ExploreOptions {
     /// Worker threads; 1 runs inline on the caller (the serial reference
@@ -35,6 +48,16 @@ struct ExploreOptions {
 
     /// Base RNG seed mixed into every point's seed.
     std::uint64_t base_seed = Rng::kDefaultSeed;
+
+    /// Evaluation backend for the global Pareto ranking. Simulated runs
+    /// the flit-level simulator on every valid design (deterministically
+    /// seeded per design, so thread counts never change results) and
+    /// ranks by measured instead of zero-load latency.
+    EvalBackend backend = EvalBackend::Analytic;
+
+    /// Traffic/measurement knobs of the simulated backend; `sim.seed` is
+    /// mixed into every design's derived simulation seed.
+    sim::SimParams sim{};
 };
 
 /// One explored architectural point and its synthesis output.
@@ -44,6 +67,20 @@ struct ExplorePointResult {
     std::uint64_t seed = 0;   ///< the derived per-point seed
     bool cache_hit = false;   ///< result reused rather than recomputed
     int pareto_survivors = 0; ///< this point's designs on the global front
+
+    /// Simulated backend only: one report per design of `result.points`
+    /// (default-constructed, cycles_run == 0, for designs that were not
+    /// simulated). Empty under the analytic backend.
+    std::vector<sim::SimReport> sim_reports;
+
+    /// The simulator's report for design `di`, or nullptr when that
+    /// design was not simulated.
+    const sim::SimReport* sim_report(int di) const {
+        const auto i = static_cast<std::size_t>(di);
+        if (i >= sim_reports.size() || sim_reports[i].cycles_run == 0)
+            return nullptr;
+        return &sim_reports[i];
+    }
 };
 
 /// Coordinates of one design on the global Pareto front.
@@ -66,6 +103,8 @@ struct ExploreStats {
     int num_threads = 0;       ///< workers that evaluated points (0 when
                                ///< every point was served from the cache)
     double elapsed_ms = 0.0;   ///< wall-clock for the whole run
+    EvalBackend backend = EvalBackend::Analytic;
+    int simulated_designs = 0; ///< simulator runs (Simulated backend only)
 };
 
 struct ExploreResult {
@@ -86,6 +125,12 @@ struct ExploreResult {
 /// Deterministic per-point seed: base_seed mixed with the point's key.
 std::uint64_t explore_point_seed(std::uint64_t base_seed,
                                  const std::string& point_key);
+
+/// Deterministic per-design simulation seed: the point's synthesis seed
+/// mixed with the sim base seed and the design's index — never with a
+/// thread or worker id.
+std::uint64_t explore_sim_seed(std::uint64_t point_seed,
+                               std::uint64_t sim_seed, int design_index);
 
 class Explorer {
   public:
@@ -118,6 +163,13 @@ class Explorer {
 /// architectural points (equal key()) carry identical copies of the same
 /// designs; only the first occurrence contributes to the front.
 std::vector<ParetoEntry> global_pareto(
+    const std::vector<ExplorePointResult>& points);
+
+/// global_pareto with each simulated design's zero-load latency replaced
+/// by its measured average packet latency (same dominance rule, same
+/// ordering and key-dedup behaviour). Valid designs without a simulator
+/// report keep their analytic latency.
+std::vector<ParetoEntry> global_pareto_measured(
     const std::vector<ExplorePointResult>& points);
 
 }  // namespace sunfloor

@@ -30,7 +30,8 @@ std::string json_quote(const std::string& s) {
 Table explore_table(const ExploreResult& result) {
     Table t({"point", "freq_mhz", "max_tsvs", "link_width_bits", "phase",
              "theta", "switches", "valid", "power_mw", "latency_cycles",
-             "area_mm2", "tsvs", "pareto", "cache_hit", "fail_reason"});
+             "sim_latency_cycles", "area_mm2", "tsvs", "pareto", "cache_hit",
+             "fail_reason"});
     std::set<std::pair<int, int>> on_front;
     for (const auto& e : result.pareto)
         on_front.insert({e.point_index, e.design_index});
@@ -43,6 +44,7 @@ Table explore_table(const ExploreResult& result) {
              ++di) {
             const auto& dp =
                 pr.result.points[static_cast<std::size_t>(di)];
+            const sim::SimReport* sr = pr.sim_report(di);
             t.add_row({static_cast<long long>(gp.index), gp.freq_hz / 1e6,
                        static_cast<long long>(gp.max_tsvs),
                        static_cast<long long>(gp.link_width_bits),
@@ -51,6 +53,7 @@ Table explore_table(const ExploreResult& result) {
                        static_cast<long long>(dp.valid ? 1 : 0),
                        dp.report.power.total_mw(),
                        dp.report.avg_latency_cycles,
+                       sr ? sr->avg_latency_cycles : -1.0,
                        dp.report.noc_area_mm2(),
                        static_cast<long long>(dp.report.total_tsvs),
                        static_cast<long long>(
@@ -82,6 +85,9 @@ void write_explore_json(std::ostream& os, const ExploreResult& result,
     os << "    \"pareto_size\": " << st.pareto_size << ",\n";
     os << "    \"dominated_designs\": " << st.dominated_designs << ",\n";
     os << "    \"num_threads\": " << st.num_threads << ",\n";
+    os << "    \"backend\": " << json_quote(backend_to_string(st.backend))
+       << ",\n";
+    os << "    \"simulated_designs\": " << st.simulated_designs << ",\n";
     os << "    \"elapsed_ms\": " << format("%.3f", st.elapsed_ms) << "\n";
     os << "  },\n";
     os << "  \"points\": [\n";
@@ -108,14 +114,24 @@ void write_explore_json(std::ostream& os, const ExploreResult& result,
     for (std::size_t i = 0; i < result.pareto.size(); ++i) {
         const auto& e = result.pareto[i];
         const DesignPoint& dp = result.design(e);
+        const sim::SimReport* sr =
+            result.points[static_cast<std::size_t>(e.point_index)]
+                .sim_report(e.design_index);
         os << "    {\"point\": " << e.point_index
            << ", \"design\": " << e.design_index
            << ", \"switches\": " << dp.switch_count
            << ", \"power_mw\": "
            << format("%.4f", dp.report.power.total_mw())
            << ", \"latency_cycles\": "
-           << format("%.4f", dp.report.avg_latency_cycles)
-           << ", \"area_mm2\": "
+           << format("%.4f", dp.report.avg_latency_cycles);
+        if (sr)
+            os << ", \"sim_latency_cycles\": "
+               << format("%.4f", sr->avg_latency_cycles)
+               << ", \"sim_p99_latency_cycles\": "
+               << format("%.4f", sr->p99_latency_cycles)
+               << ", \"sim_accepted_flits_per_cycle\": "
+               << format("%.4f", sr->accepted_flits_per_cycle);
+        os << ", \"area_mm2\": "
            << format("%.4f", dp.report.noc_area_mm2()) << "}"
            << (i + 1 < result.pareto.size() ? "," : "") << "\n";
     }

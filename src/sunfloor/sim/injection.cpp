@@ -1,0 +1,118 @@
+#include "sunfloor/sim/injection.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sunfloor::sim {
+
+const char* traffic_to_string(Traffic t) {
+    switch (t) {
+        case Traffic::Uniform: return "uniform";
+        case Traffic::Bursty: return "bursty";
+        case Traffic::Hotspot: return "hotspot";
+    }
+    return "uniform";
+}
+
+bool traffic_from_string(const std::string& s, Traffic& out) {
+    if (s == "uniform") {
+        out = Traffic::Uniform;
+    } else if (s == "bursty") {
+        out = Traffic::Bursty;
+    } else if (s == "hotspot") {
+        out = Traffic::Hotspot;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/// Core receiving the most aggregate spec bandwidth (lowest id on ties).
+int busiest_sink(const DesignSpec& spec) {
+    std::vector<double> rx(static_cast<std::size_t>(spec.cores.num_cores()),
+                           0.0);
+    for (const auto& f : spec.comm.flows())
+        rx[static_cast<std::size_t>(f.dst)] += f.bw_mbps;
+    int best = 0;
+    for (int c = 1; c < spec.cores.num_cores(); ++c)
+        if (rx[static_cast<std::size_t>(c)] >
+            rx[static_cast<std::size_t>(best)])
+            best = c;
+    return best;
+}
+
+}  // namespace
+
+std::vector<double> flow_packet_rates(const DesignSpec& spec,
+                                      const InjectionParams& inj,
+                                      const EvalParams& eval) {
+    if (inj.packet_length_flits <= 0)
+        throw std::invalid_argument("packet_length_flits must be positive");
+    if (inj.injection_scale < 0.0)
+        throw std::invalid_argument("injection_scale must be >= 0");
+    const int hotspot = inj.traffic == Traffic::Hotspot
+                            ? (inj.hotspot_core >= 0 ? inj.hotspot_core
+                                                     : busiest_sink(spec))
+                            : -1;
+    std::vector<double> rates;
+    rates.reserve(static_cast<std::size_t>(spec.comm.num_flows()));
+    for (const auto& f : spec.comm.flows()) {
+        const double flits_per_cycle =
+            eval.lib.flits_per_second(f.bw_mbps) / eval.freq_hz;
+        double rate = inj.injection_scale * flits_per_cycle /
+                      inj.packet_length_flits;
+        if (f.dst == hotspot) rate *= inj.hotspot_factor;
+        rates.push_back(std::min(1.0, rate));
+    }
+    return rates;
+}
+
+InjectionState::InjectionState(const DesignSpec& spec,
+                               const InjectionParams& inj,
+                               const EvalParams& eval)
+    : inj_(inj), rates_(flow_packet_rates(spec, inj, eval)) {
+    if (inj_.traffic == Traffic::Bursty) {
+        if (inj_.burst_on_to_off <= 0.0 || inj_.burst_on_to_off > 1.0 ||
+            inj_.burst_off_to_on <= 0.0 || inj_.burst_off_to_on > 1.0)
+            throw std::invalid_argument(
+                "bursty transition probabilities must be in (0, 1]");
+        const double duty = inj_.burst_off_to_on /
+                            (inj_.burst_off_to_on + inj_.burst_on_to_off);
+        on_rate_.reserve(rates_.size());
+        for (double& r : rates_) {
+            on_rate_.push_back(std::min(1.0, r / duty));
+            // The ON-state rate saturates at one packet/cycle, so a flow
+            // demanding more than `duty` packets/cycle can only achieve
+            // duty; fold the clamp back so packet_rate() and the offered
+            // load report what the process really generates.
+            r = on_rate_.back() * duty;
+        }
+        // Start every flow OFF: the warmup phase absorbs the transient.
+        burst_on_.assign(rates_.size(), 0);
+    }
+}
+
+double InjectionState::offered_flits_per_cycle() const {
+    double sum = 0.0;
+    for (double r : rates_) sum += r * inj_.packet_length_flits;
+    return sum;
+}
+
+bool InjectionState::step(int f, Rng& rng) {
+    const auto i = static_cast<std::size_t>(f);
+    if (rates_[i] <= 0.0) return false;
+    if (inj_.traffic != Traffic::Bursty) return rng.next_bool(rates_[i]);
+    // Transition first, then (maybe) generate: a flow entering ON can
+    // already emit this cycle, so short ON periods still carry traffic.
+    if (burst_on_[i]) {
+        if (rng.next_bool(inj_.burst_on_to_off)) burst_on_[i] = 0;
+    } else {
+        if (rng.next_bool(inj_.burst_off_to_on)) burst_on_[i] = 1;
+    }
+    return burst_on_[i] && rng.next_bool(on_rate_[i]);
+}
+
+}  // namespace sunfloor::sim

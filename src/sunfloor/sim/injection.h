@@ -1,0 +1,110 @@
+// Packet injection processes for the flit-level traffic simulator.
+//
+// The analytic model of noc/evaluation.cpp sees only zero-load latency;
+// the simulator drives the synthesized topology with *offered traffic*,
+// and this module defines how that traffic is generated. Every flow of
+// the design spec gets a per-cycle packet generation process whose mean
+// rate derives from the flow's specified bandwidth (so injection_scale
+// = 1.0 offers exactly the bandwidths the topology was synthesized
+// for), shaped by one of three classic NoC workload models:
+//
+//  * Uniform — independent Bernoulli generation each cycle; the
+//    memoryless baseline.
+//  * Bursty — a two-state (ON/OFF) Markov-modulated process per flow.
+//    Packets are only generated in ON; the ON-state rate is raised so
+//    the long-run mean matches the uniform case, making latency
+//    differences attributable to burstiness alone. A flow demanding
+//    more than the duty cycle in packets/cycle saturates at one packet
+//    per ON cycle — packet_rate() reports the clamped, achievable mean.
+//  * Hotspot — uniform generation, but flows sinking at the hotspot
+//    core have their rate multiplied by hotspot_factor (the classic
+//    shared-memory controller overload).
+//
+// All randomness flows through the caller-provided sunfloor::util Rng,
+// so a (topology, params, seed) triple replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sunfloor/noc/evaluation.h"
+#include "sunfloor/spec/parser.h"
+#include "sunfloor/util/rng.h"
+
+namespace sunfloor::sim {
+
+enum class Traffic {
+    Uniform,  ///< independent Bernoulli per flow per cycle
+    Bursty,   ///< ON/OFF Markov-modulated, same mean rate
+    Hotspot,  ///< uniform, flows into the hotspot core scaled up
+};
+
+/// "uniform", "bursty" or "hotspot" — the single source for CLI parsing
+/// and report labels.
+const char* traffic_to_string(Traffic t);
+
+/// Inverse of traffic_to_string; returns false on any other input.
+bool traffic_from_string(const std::string& s, Traffic& out);
+
+struct InjectionParams {
+    Traffic traffic = Traffic::Uniform;
+
+    /// Multiplies every flow's spec-derived rate. 1.0 offers exactly the
+    /// bandwidth the topology was synthesized for; >1 overloads it.
+    double injection_scale = 1.0;
+
+    /// Flits per packet (wormhole packets occupy a path until the tail
+    /// passes, so longer packets couple links more strongly).
+    int packet_length_flits = 4;
+
+    // Bursty: per-cycle Markov transition probabilities. The stationary
+    // ON fraction (duty cycle) is off_to_on / (off_to_on + on_to_off);
+    // the defaults give duty 0.2, i.e. 5x peak-to-mean bursts.
+    double burst_on_to_off = 0.05;
+    double burst_off_to_on = 0.0125;
+
+    /// Hotspot: rate multiplier for flows whose destination is the
+    /// hotspot core.
+    double hotspot_factor = 4.0;
+    /// Hotspot core id; -1 picks the core receiving the most spec
+    /// bandwidth (deterministic: lowest id on ties).
+    int hotspot_core = -1;
+};
+
+/// Mean packet-generation rates per flow (packets/cycle) implied by the
+/// spec bandwidths at `eval.freq_hz`, including the traffic shaping
+/// (hotspot boost; bursty keeps the uniform mean). Rates are clamped to
+/// 1.0 — the source can start at most one packet per cycle.
+std::vector<double> flow_packet_rates(const DesignSpec& spec,
+                                      const InjectionParams& inj,
+                                      const EvalParams& eval);
+
+/// Stateful per-flow generators. One step() call per flow per cycle.
+class InjectionState {
+  public:
+    InjectionState(const DesignSpec& spec, const InjectionParams& inj,
+                   const EvalParams& eval);
+
+    int num_flows() const { return static_cast<int>(rates_.size()); }
+
+    /// Mean packet rate of flow f (packets/cycle), after shaping.
+    double packet_rate(int f) const {
+        return rates_[static_cast<std::size_t>(f)];
+    }
+
+    /// Sum over flows of rate * packet_length — the offered load in
+    /// flits/cycle.
+    double offered_flits_per_cycle() const;
+
+    /// True when flow f generates a packet this cycle. Must be called
+    /// exactly once per flow per cycle, in flow order, for determinism.
+    bool step(int f, Rng& rng);
+
+  private:
+    InjectionParams inj_;
+    std::vector<double> rates_;    ///< mean packet rate per flow
+    std::vector<double> on_rate_;  ///< bursty: generation rate while ON
+    std::vector<char> burst_on_;   ///< bursty: current Markov state
+};
+
+}  // namespace sunfloor::sim

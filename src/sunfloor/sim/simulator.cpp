@@ -1,0 +1,429 @@
+#include "sunfloor/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace sunfloor::sim {
+
+namespace {
+
+/// One flit in the fabric. `hop` indexes the flow's path at the next
+/// link to traverse; it advances when the flit departs on that link.
+struct Flit {
+    int flow = -1;
+    long long seq = 0;   ///< per-flow packet sequence number
+    int hop = 0;
+    long long gen = 0;   ///< generation cycle of the packet
+    bool head = false;
+    bool tail = false;
+    bool measured = false;
+};
+
+struct InFlight {
+    long long when = 0;  ///< cycle the flit reaches the end of the link
+    Flit flit;
+};
+
+/// The cycle machine. Internal to this translation unit; simulate() and
+/// simulate_zero_load() drive it and assemble SimReports from its
+/// public counters.
+class Engine {
+  public:
+    Engine(const Topology& topo, const EvalParams& eval,
+           const SimParams& params)
+        : topo_(topo), depth_(params.buffer_depth_flits) {
+        if (depth_ < 1)
+            throw std::invalid_argument("buffer_depth_flits must be >= 1");
+        const int L = topo.num_links();
+        const int F = topo.num_flows();
+        extra_.resize(static_cast<std::size_t>(L));
+        into_switch_.resize(static_cast<std::size_t>(L));
+        for (int l = 0; l < L; ++l) {
+            extra_[static_cast<std::size_t>(l)] =
+                eval.wire.pipeline_stages(topo.link_planar_length(l),
+                                          eval.freq_hz) -
+                1;
+            into_switch_[static_cast<std::size_t>(l)] =
+                topo.link(l).dst.is_switch() ? 1 : 0;
+        }
+        buf_.resize(static_cast<std::size_t>(L));
+        inflight_.resize(static_cast<std::size_t>(L));
+        occ_.assign(static_cast<std::size_t>(L), 0);
+        inj_q_.resize(static_cast<std::size_t>(L));
+        owner_active_.assign(static_cast<std::size_t>(L), 0);
+        owner_flow_.assign(static_cast<std::size_t>(L), -1);
+        owner_seq_.assign(static_cast<std::size_t>(L), 0);
+        owner_input_.assign(static_cast<std::size_t>(L), -1);
+        rr_.assign(static_cast<std::size_t>(L), 0);
+        switch_inputs_.resize(static_cast<std::size_t>(topo.num_switches()));
+        for (int l = 0; l < L; ++l)
+            if (topo.link(l).dst.is_switch())
+                switch_inputs_[static_cast<std::size_t>(topo.link(l)
+                                                            .dst.index)]
+                    .push_back(l);
+        link_departures_.assign(static_cast<std::size_t>(L), 0);
+        packet_seq_.assign(static_cast<std::size_t>(F), 0);
+        flow_lat_sum_.assign(static_cast<std::size_t>(F), 0.0);
+        flow_lat_count_.assign(static_cast<std::size_t>(F), 0);
+    }
+
+    /// Measurement window [begin, end): ejected flits and link
+    /// departures inside it feed the throughput/utilization counters.
+    void set_window(long long begin, long long end) {
+        win_begin_ = begin;
+        win_end_ = end;
+    }
+
+    /// Generate one `length`-flit packet of `flow` at cycle `now` into
+    /// the source NI queue of the flow's first link.
+    void inject_packet(int flow, int length, long long now, bool measured) {
+        const auto& path = topo_.flow_path(flow);
+        const int first = path.front();
+        for (int i = 0; i < length; ++i) {
+            Flit f;
+            f.flow = flow;
+            f.seq = packet_seq_[static_cast<std::size_t>(flow)];
+            f.hop = 0;
+            f.gen = now;
+            f.head = i == 0;
+            f.tail = i == length - 1;
+            f.measured = measured;
+            inj_q_[static_cast<std::size_t>(first)].push_back(f);
+        }
+        ++packet_seq_[static_cast<std::size_t>(flow)];
+        flits_in_network_ += length;
+        if (measured) {
+            ++injected_packets_;
+            injected_flits_ += length;
+        }
+    }
+
+    /// Phase 1 of a cycle: land the flits whose link traversal
+    /// completes at T (into the downstream FIFO, or ejected at a core).
+    void begin_cycle(long long T) {
+        for (std::size_t l = 0; l < inflight_.size(); ++l) {
+            auto& fl = inflight_[l];
+            while (!fl.empty() && fl.front().when <= T) {
+                const Flit f = fl.front().flit;
+                fl.pop_front();
+                if (into_switch_[l])
+                    buf_[l].push_back(f);  // occupancy unchanged
+                else
+                    eject(f, T);
+            }
+        }
+    }
+
+    /// Phase 2: every link picks at most one flit to send this cycle —
+    /// decisions first, from the post-arrival state, then all moves at
+    /// once (so a slot freed at T is only visible upstream at T+1, a
+    /// one-cycle credit loop).
+    void end_cycle(long long T) {
+        decisions_.clear();
+        const int L = topo_.num_links();
+        for (int l = 0; l < L; ++l) {
+            const auto ul = static_cast<std::size_t>(l);
+            if (into_switch_[ul] && occ_[ul] >= depth_) continue;  // no credit
+            const NodeRef src = topo_.link(l).src;
+            if (src.is_core()) {
+                if (!inj_q_[ul].empty()) decisions_.push_back({l, -1, -1});
+                continue;
+            }
+            if (owner_active_[ul]) {
+                // Wormhole continuation: only the owning packet's next
+                // flit may use the link, and it can only be at the head
+                // of the input FIFO its head flit came through.
+                const auto in = static_cast<std::size_t>(owner_input_[ul]);
+                if (!buf_[in].empty() &&
+                    buf_[in].front().flow == owner_flow_[ul] &&
+                    buf_[in].front().seq == owner_seq_[ul])
+                    decisions_.push_back({l, owner_input_[ul], -1});
+                continue;
+            }
+            // Free link: round-robin over the switch's input ports for a
+            // head flit routed to this output.
+            const auto& ins =
+                switch_inputs_[static_cast<std::size_t>(src.index)];
+            const int n = static_cast<int>(ins.size());
+            for (int k = 1; k <= n; ++k) {
+                const int pos = (rr_[ul] + k) % n;
+                const auto& b = buf_[static_cast<std::size_t>(ins[
+                    static_cast<std::size_t>(pos)])];
+                if (b.empty() || !b.front().head) continue;
+                const Flit& f = b.front();
+                if (topo_.flow_path(f.flow)[static_cast<std::size_t>(
+                        f.hop)] != l)
+                    continue;
+                decisions_.push_back(
+                    {l, ins[static_cast<std::size_t>(pos)], pos});
+                break;
+            }
+        }
+        const bool in_window = T >= win_begin_ && T < win_end_;
+        for (const auto& d : decisions_) apply(d, T, in_window);
+    }
+
+    long long flits_in_network() const { return flits_in_network_; }
+
+    // --- counters simulate() folds into the SimReport -------------------
+    long long injected_packets_ = 0;  ///< measured population
+    long long injected_flits_ = 0;
+    long long received_packets_ = 0;
+    long long received_flits_ = 0;
+    std::vector<double> latencies_;   ///< per measured packet (tail)
+    double head_lat_sum_ = 0.0;
+    long long head_count_ = 0;
+    std::vector<double> flow_lat_sum_;
+    std::vector<long long> flow_lat_count_;
+    long long window_ejected_flits_ = 0;  ///< all traffic, window only
+    std::vector<long long> link_departures_;  ///< window only
+
+  private:
+    struct Decision {
+        int link;      ///< output link that sends
+        int input;     ///< source input link; -1 = injection queue
+        int rr_pos;    ///< arbiter position of `input`; -1 = not an arb win
+    };
+
+    void apply(const Decision& d, long long T, bool in_window) {
+        const auto ul = static_cast<std::size_t>(d.link);
+        Flit f;
+        if (d.input < 0) {
+            auto& q = inj_q_[ul];
+            f = q.front();
+            q.pop_front();
+        } else {
+            const auto in = static_cast<std::size_t>(d.input);
+            f = buf_[in].front();
+            buf_[in].pop_front();
+            --occ_[in];  // credit returned upstream next cycle
+            if (owner_active_[ul]) {
+                if (f.tail) owner_active_[ul] = 0;
+            } else {
+                rr_[ul] = d.rr_pos;
+                if (!f.tail) {
+                    owner_active_[ul] = 1;
+                    owner_flow_[ul] = f.flow;
+                    owner_seq_[ul] = f.seq;
+                    owner_input_[ul] = d.input;
+                }
+            }
+        }
+        if (in_window) ++link_departures_[ul];
+        ++f.hop;
+        if (into_switch_[ul]) {
+            // Arrive ready to leave the switch one cycle later: the +1 is
+            // the switch traversal of the analytic model.
+            ++occ_[ul];
+            inflight_[ul].push_back({T + extra_[ul] + 1, f});
+        } else {
+            // Ejection: entering the destination NI is free, so a short
+            // link delivers in the departure cycle itself.
+            const long long when = T + extra_[ul];
+            if (when <= T)
+                eject(f, T);
+            else
+                inflight_[ul].push_back({when, f});
+        }
+    }
+
+    void eject(const Flit& f, long long T) {
+        --flits_in_network_;
+        if (T >= win_begin_ && T < win_end_) ++window_ejected_flits_;
+        if (!f.measured) return;
+        if (f.head) {
+            head_lat_sum_ += static_cast<double>(T - f.gen);
+            ++head_count_;
+        }
+        ++received_flits_;
+        if (f.tail) {
+            const double lat = static_cast<double>(T - f.gen);
+            latencies_.push_back(lat);
+            flow_lat_sum_[static_cast<std::size_t>(f.flow)] += lat;
+            ++flow_lat_count_[static_cast<std::size_t>(f.flow)];
+            ++received_packets_;
+        }
+    }
+
+    const Topology& topo_;
+    int depth_;
+
+    std::vector<int> extra_;          ///< pipeline_stages - 1 per link
+    std::vector<char> into_switch_;   ///< link dst is a switch
+    std::vector<std::vector<int>> switch_inputs_;
+
+    std::vector<std::deque<Flit>> buf_;       ///< downstream input FIFO
+    std::vector<std::deque<InFlight>> inflight_;
+    std::vector<int> occ_;            ///< buffered + in-flight per link
+    std::vector<std::deque<Flit>> inj_q_;     ///< source NI, per first link
+
+    std::vector<char> owner_active_;  ///< wormhole output allocation
+    std::vector<int> owner_flow_;
+    std::vector<long long> owner_seq_;
+    std::vector<int> owner_input_;
+    std::vector<int> rr_;             ///< round-robin arbiter state
+
+    std::vector<long long> packet_seq_;
+    std::vector<Decision> decisions_;
+    long long flits_in_network_ = 0;
+    long long win_begin_ = 0;
+    long long win_end_ = 0;
+};
+
+void validate(const Topology& topo, const SimParams& params) {
+    if (!topo.all_flows_routed())
+        throw std::invalid_argument(
+            "simulate: every flow must be routed (topology incomplete)");
+    if (params.warmup_cycles < 0 || params.measure_cycles < 1 ||
+        params.drain_max_cycles < 0)
+        throw std::invalid_argument("simulate: bad phase lengths");
+}
+
+double percentile99(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(std::max(
+        0.0, std::ceil(0.99 * static_cast<double>(v.size())) - 1.0));
+    return v[std::min(idx, v.size() - 1)];
+}
+
+/// Fold the engine counters into the report's latency/packet fields.
+void fill_latency_stats(const Engine& eng, int num_flows, SimReport& rep) {
+    rep.injected_packets = eng.injected_packets_;
+    rep.received_packets = eng.received_packets_;
+    rep.injected_flits = eng.injected_flits_;
+    rep.received_flits = eng.received_flits_;
+    double sum = 0.0;
+    for (double l : eng.latencies_) {
+        sum += l;
+        rep.max_latency_cycles = std::max(rep.max_latency_cycles, l);
+    }
+    if (!eng.latencies_.empty())
+        rep.avg_latency_cycles =
+            sum / static_cast<double>(eng.latencies_.size());
+    rep.p99_latency_cycles = percentile99(eng.latencies_);
+    if (eng.head_count_ > 0)
+        rep.avg_head_latency_cycles =
+            eng.head_lat_sum_ / static_cast<double>(eng.head_count_);
+    rep.flow_avg_latency_cycles.assign(static_cast<std::size_t>(num_flows),
+                                       -1.0);
+    for (int f = 0; f < num_flows; ++f) {
+        const auto uf = static_cast<std::size_t>(f);
+        if (eng.flow_lat_count_[uf] > 0)
+            rep.flow_avg_latency_cycles[uf] =
+                eng.flow_lat_sum_[uf] /
+                static_cast<double>(eng.flow_lat_count_[uf]);
+    }
+}
+
+}  // namespace
+
+SimReport simulate(const Topology& topo, const DesignSpec& spec,
+                   const EvalParams& eval, const SimParams& params) {
+    validate(topo, params);
+    Engine eng(topo, eval, params);
+    InjectionState inj(spec, params.inject, eval);
+    Rng rng(params.seed);
+
+    const long long wb = params.warmup_cycles;
+    const long long we = wb + params.measure_cycles;
+    eng.set_window(wb, we);
+
+    long long T = 0;
+    for (; T < we; ++T) {
+        eng.begin_cycle(T);
+        for (int f = 0; f < topo.num_flows(); ++f)
+            if (inj.step(f, rng))
+                eng.inject_packet(f, params.inject.packet_length_flits, T,
+                                  T >= wb);
+        eng.end_cycle(T);
+    }
+    // Injection stopped; run the network empty. Measured packets still in
+    // flight keep being recorded as they land.
+    const long long drain_end = we + params.drain_max_cycles;
+    while (eng.flits_in_network() > 0 && T < drain_end) {
+        eng.begin_cycle(T);
+        eng.end_cycle(T);
+        ++T;
+    }
+
+    SimReport rep;
+    fill_latency_stats(eng, topo.num_flows(), rep);
+    rep.offered_flits_per_cycle = inj.offered_flits_per_cycle();
+    rep.accepted_flits_per_cycle =
+        static_cast<double>(eng.window_ejected_flits_) /
+        static_cast<double>(params.measure_cycles);
+    rep.link_utilization.resize(static_cast<std::size_t>(topo.num_links()));
+    for (int l = 0; l < topo.num_links(); ++l)
+        rep.link_utilization[static_cast<std::size_t>(l)] =
+            static_cast<double>(
+                eng.link_departures_[static_cast<std::size_t>(l)]) /
+            static_cast<double>(params.measure_cycles);
+    rep.drained = eng.flits_in_network() == 0;
+    rep.cycles_run = T;
+    rep.in_flight_flits_at_end = eng.flits_in_network();
+    return rep;
+}
+
+SimReport simulate_zero_load(const Topology& topo, const DesignSpec& spec,
+                             const EvalParams& eval, SimParams params) {
+    (void)spec;
+    if (params.inject.packet_length_flits < 1)
+        throw std::invalid_argument("packet_length_flits must be positive");
+    SimReport rep;
+    rep.flow_avg_latency_cycles.assign(
+        static_cast<std::size_t>(topo.num_flows()), -1.0);
+    rep.drained = true;
+    // Each flow probes an otherwise idle network: its packet can never
+    // contend, so its latency is the simulator's zero-load number.
+    const long long limit = std::max<long long>(params.drain_max_cycles, 1);
+    std::vector<double> all_lat;
+    double head_sum = 0.0;
+    long long head_count = 0;
+    for (int f = 0; f < topo.num_flows(); ++f) {
+        if (!topo.has_path(f)) continue;
+        Engine eng(topo, eval, params);
+        eng.set_window(0, limit);
+        long long T = 0;
+        eng.begin_cycle(T);
+        eng.inject_packet(f, params.inject.packet_length_flits, T, true);
+        eng.end_cycle(T);
+        ++T;
+        while (eng.flits_in_network() > 0 && T < limit) {
+            eng.begin_cycle(T);
+            eng.end_cycle(T);
+            ++T;
+        }
+        rep.injected_packets += eng.injected_packets_;
+        rep.received_packets += eng.received_packets_;
+        rep.injected_flits += eng.injected_flits_;
+        rep.received_flits += eng.received_flits_;
+        rep.cycles_run += T;
+        if (eng.flits_in_network() > 0) rep.drained = false;
+        rep.in_flight_flits_at_end += eng.flits_in_network();
+        const auto uf = static_cast<std::size_t>(f);
+        if (eng.flow_lat_count_[uf] > 0) {
+            const double lat = eng.flow_lat_sum_[uf] /
+                               static_cast<double>(eng.flow_lat_count_[uf]);
+            rep.flow_avg_latency_cycles[uf] = lat;
+            all_lat.push_back(lat);
+            rep.max_latency_cycles = std::max(rep.max_latency_cycles, lat);
+        }
+        head_sum += eng.head_lat_sum_;
+        head_count += eng.head_count_;
+    }
+    if (!all_lat.empty()) {
+        double sum = 0.0;
+        for (double l : all_lat) sum += l;
+        rep.avg_latency_cycles = sum / static_cast<double>(all_lat.size());
+    }
+    rep.p99_latency_cycles = percentile99(all_lat);
+    if (head_count > 0)
+        rep.avg_head_latency_cycles =
+            head_sum / static_cast<double>(head_count);
+    return rep;
+}
+
+}  // namespace sunfloor::sim

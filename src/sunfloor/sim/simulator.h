@@ -1,0 +1,119 @@
+// Cycle-driven flit-level traffic simulator over a synthesized Topology.
+//
+// The analytic evaluator (noc/evaluation.cpp) prices a path at zero
+// load; this simulator plays the same paths under real injected traffic
+// and measures what contention does to them. The microarchitecture is
+// the classic wormhole fabric the xpipes-style library implies:
+//
+//  * Every NocLink carries one flit per cycle and ends in a FIFO input
+//    buffer of `buffer_depth_flits` at its downstream node. Upstream
+//    nodes track free downstream slots as credits (counted at send
+//    time, over buffered plus in-flight flits), so a full buffer
+//    backpressures the sender — nothing is ever dropped.
+//  * Packets are wormhole-switched along the flow's already-computed
+//    path (topo.flow_path): once a head flit wins an output link, the
+//    link is allocated to that packet until its tail passes; competing
+//    heads wait in their input FIFOs. Arbitration is deterministic
+//    round-robin per output link.
+//  * Timing matches the analytic convention exactly (evaluation.h): a
+//    link traversal costs one cycle when it enters a switch (the switch
+//    traversal) plus pipeline_stages - 1 extra cycles on pipelined long
+//    wires; entering the destination core's NI is free. Hence measured
+//    latency at vanishing load reproduces flow_latency() to the cycle,
+//    which sim_zero_load_test.cpp pins on every paper benchmark.
+//
+// A run is warmup -> measurement -> drain: statistics cover packets
+// *generated* during the measurement window (the simulation keeps
+// going until they all arrive), and the drain phase then runs the
+// network empty — a runtime cross-check of the static deadlock-freedom
+// analysis of noc/deadlock.h, reported as SimReport::drained.
+//
+// Everything is single-threaded and deterministic: one Rng seeded from
+// SimParams::seed drives all injection processes, so any two runs with
+// equal (topology, spec, eval, params) are bit-identical. Parallel
+// callers (the explore backend) run independent simulator instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sunfloor/noc/evaluation.h"
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/sim/injection.h"
+#include "sunfloor/spec/parser.h"
+#include "sunfloor/util/rng.h"
+
+namespace sunfloor::sim {
+
+struct SimParams {
+    InjectionParams inject{};
+
+    /// Per-link downstream FIFO depth (flits).
+    int buffer_depth_flits = 4;
+
+    /// Cycles simulated before measurement starts (fills the pipeline).
+    long long warmup_cycles = 2000;
+
+    /// Length of the measurement window (cycles). Packets generated in
+    /// this window are the measured population.
+    long long measure_cycles = 10000;
+
+    /// After injection stops, the network must go empty within this many
+    /// additional cycles or the run reports drained = false. Bounded so
+    /// a (hypothetical) deadlocked configuration terminates.
+    long long drain_max_cycles = 200000;
+
+    std::uint64_t seed = Rng::kDefaultSeed;
+};
+
+struct SimReport {
+    // --- packet accounting (measured population only) -------------------
+    long long injected_packets = 0;  ///< generated in the window
+    long long received_packets = 0;  ///< ... that reached their sink
+    long long injected_flits = 0;
+    long long received_flits = 0;
+
+    // --- latency of measured packets (generation -> tail ejection) ------
+    double avg_latency_cycles = 0.0;
+    double p99_latency_cycles = 0.0;
+    double max_latency_cycles = 0.0;
+    /// Head-flit latency (generation -> head ejection); equals the
+    /// analytic zero-load path latency as load vanishes.
+    double avg_head_latency_cycles = 0.0;
+
+    /// Per-flow mean packet latency; -1 for flows with no measured
+    /// packet (zero rate, or none generated in the window).
+    std::vector<double> flow_avg_latency_cycles;
+
+    // --- throughput ------------------------------------------------------
+    /// Mean flits/cycle offered by the injection processes.
+    double offered_flits_per_cycle = 0.0;
+    /// Flits ejected per cycle during the measurement window (all
+    /// traffic, not only measured packets).
+    double accepted_flits_per_cycle = 0.0;
+
+    /// Per-link: flits sent / measurement cycles, in [0, 1].
+    std::vector<double> link_utilization;
+
+    // --- run outcome -----------------------------------------------------
+    bool drained = false;     ///< network empty at the end of the drain
+    long long cycles_run = 0; ///< total simulated cycles
+    long long in_flight_flits_at_end = 0;  ///< 0 when drained
+};
+
+/// Simulate `topo` under the spec's traffic scaled by params.inject.
+/// Every flow must be routed (Topology::all_flows_routed); throws
+/// std::invalid_argument otherwise.
+SimReport simulate(const Topology& topo, const DesignSpec& spec,
+                   const EvalParams& eval, const SimParams& params);
+
+/// Zero-load probe: one packet per routed flow, injected in isolation
+/// (flow k starts only after flow k-1 fully drained), through the same
+/// simulation machinery. With packet_length_flits = 1 the reported
+/// flow_avg_latency_cycles equal the analytic flow_latency() exactly.
+/// Unrouted flows report -1; injection rates/traffic shaping are
+/// ignored.
+SimReport simulate_zero_load(const Topology& topo, const DesignSpec& spec,
+                             const EvalParams& eval, SimParams params);
+
+}  // namespace sunfloor::sim

@@ -4,6 +4,7 @@
 //   sunfloor_cli --design <file> [options]         # Section IV input file
 //   sunfloor_cli --benchmark <name> [options]      # built-in benchmark
 //   sunfloor_cli explore (--design <file> | --benchmark <name>) [options]
+//   sunfloor_cli simulate (--design <file> | --benchmark <name>) [options]
 //
 // Synthesis options:
 //   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
@@ -26,7 +27,22 @@
 //   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
 //   --threads <n>             worker threads; 0 = all cores (default 0)
 //   --no-cache                disable the evaluation cache
+//   --backend <analytic|sim>  Pareto ranking backend     (default analytic)
+//   --rate <scale>            sim backend: injection scale (default 1.0)
+//   --traffic <kind>          sim backend: uniform|bursty|hotspot
+//   --packet-len <flits>      sim backend: packet length (default 4)
 //   --out <prefix>            write <prefix>_explore.csv, _explore.json
+//
+// Simulate options (flit-level simulation of the best synthesized design):
+//   --freq <MHz>              operating point            (default 400)
+//   --max-ill, --alpha, --phase, --seed, --no-floorplan   as above
+//   --rate <s>[,<s>...]       injection-scale sweep (default 0.25..1.0)
+//   --traffic <kind>          uniform|bursty|hotspot     (default uniform)
+//   --packet-len <flits>      flits per packet           (default 4)
+//   --buffers <flits>         per-link FIFO depth        (default 4)
+//   --warmup <cycles>         warmup phase               (default 2000)
+//   --measure <cycles>        measurement window         (default 10000)
+//   --out <prefix>            write <prefix>_sim.csv
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -39,6 +55,7 @@
 #include "sunfloor/io/dot.h"
 #include "sunfloor/io/floorplan_dump.h"
 #include "sunfloor/io/report.h"
+#include "sunfloor/sim/simulator.h"
 #include "sunfloor/spec/benchmarks.h"
 #include "sunfloor/util/strings.h"
 
@@ -56,8 +73,15 @@ int usage(const char* argv0) {
                  "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
                  "[--phase auto|1|2[,...]] [--theta V[,...]] [--alpha A] "
                  "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
-                 "[--out prefix]\n",
-                 argv0, argv0);
+                 "[--backend analytic|sim] [--rate S] "
+                 "[--traffic uniform|bursty|hotspot] [--packet-len N] "
+                 "[--out prefix]\n"
+                 "       %s simulate (--design <file> | --benchmark <name>) "
+                 "[--freq MHz] [--max-ill N] [--alpha A] [--phase auto|1|2] "
+                 "[--seed N] [--no-floorplan] [--rate S[,S...]] "
+                 "[--traffic uniform|bursty|hotspot] [--packet-len N] "
+                 "[--buffers N] [--warmup N] [--measure N] [--out prefix]\n",
+                 argv0, argv0, argv0);
     return 2;
 }
 
@@ -131,6 +155,7 @@ int run_explore(int argc, char** argv) {
     ExploreOptions opts;
     opts.num_threads = 0;  // all cores
     ParamGrid grid;
+    const char* sim_only_flag = nullptr;  // sim flag seen, for validation
 
     for (int i = 2; i < argc; ++i) try {
         const std::string arg = argv[i];
@@ -191,6 +216,27 @@ int run_explore(int argc, char** argv) {
             cfg.run_floorplan = false;
         } else if (arg == "--no-cache") {
             opts.use_cache = false;
+        } else if (arg == "--backend") {
+            const char* v = next();
+            if (!v || !backend_from_string(v, opts.backend))
+                return usage(argv[0]);
+        } else if (arg == "--rate") {
+            const char* v = next();
+            if (!v || !parse_double(v, opts.sim.inject.injection_scale) ||
+                opts.sim.inject.injection_scale < 0.0)
+                return usage(argv[0]);
+            sim_only_flag = "--rate";
+        } else if (arg == "--traffic") {
+            const char* v = next();
+            if (!v || !sim::traffic_from_string(v, opts.sim.inject.traffic))
+                return usage(argv[0]);
+            sim_only_flag = "--traffic";
+        } else if (arg == "--packet-len") {
+            const char* v = next();
+            if (!v || !parse_int(v, opts.sim.inject.packet_length_flits) ||
+                opts.sim.inject.packet_length_flits < 1)
+                return usage(argv[0]);
+            sim_only_flag = "--packet-len";
         } else if (arg == "--out") {
             const char* v = next();
             if (!v) return usage(argv[0]);
@@ -204,6 +250,13 @@ int run_explore(int argc, char** argv) {
         return 2;
     }
     if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+    if (sim_only_flag && opts.backend != EvalBackend::Simulated) {
+        std::fprintf(stderr,
+                     "%s only affects the simulated backend; add "
+                     "--backend sim\n",
+                     sim_only_flag);
+        return 2;
+    }
 
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
@@ -223,17 +276,33 @@ int run_explore(int argc, char** argv) {
         st.cache_hits);
     std::printf("%d/%d valid designs, global Pareto front: %d points\n",
                 st.valid_designs, st.total_designs, st.pareto_size);
+    const bool simulated = st.backend == EvalBackend::Simulated;
+    if (simulated)
+        std::printf("simulated %d designs (%s traffic, rate %.2f, "
+                    "%d-flit packets); front ranked by measured latency\n",
+                    st.simulated_designs,
+                    sim::traffic_to_string(opts.sim.inject.traffic),
+                    opts.sim.inject.injection_scale,
+                    opts.sim.inject.packet_length_flits);
 
-    Table front({"label", "switches", "power_mw", "latency_cycles",
-                 "area_mm2"});
+    std::vector<std::string> cols{"label", "switches", "power_mw",
+                                  "latency_cycles", "area_mm2"};
+    if (simulated) cols.insert(cols.begin() + 4, "sim_latency_cycles");
+    Table front(cols);
     for (const auto& e : res.pareto) {
         const auto& pr = res.points[static_cast<std::size_t>(e.point_index)];
         const DesignPoint& dp = res.design(e);
-        front.add_row({pr.point.label(),
-                       static_cast<long long>(dp.switch_count),
-                       dp.report.power.total_mw(),
-                       dp.report.avg_latency_cycles,
-                       dp.report.noc_area_mm2()});
+        std::vector<Cell> row{pr.point.label(),
+                              static_cast<long long>(dp.switch_count),
+                              dp.report.power.total_mw(),
+                              dp.report.avg_latency_cycles,
+                              dp.report.noc_area_mm2()};
+        if (simulated) {
+            const sim::SimReport* sr = pr.sim_report(e.design_index);
+            row.insert(row.begin() + 4,
+                       sr ? sr->avg_latency_cycles : -1.0);
+        }
+        front.add_row(std::move(row));
     }
     std::printf("\n");
     front.write_pretty(std::cout);
@@ -264,6 +333,141 @@ int run_explore(int argc, char** argv) {
                 "%.2f cycles\n",
                 bpr.point.label().c_str(), bdp.switch_count,
                 bdp.report.power.noc_mw(), bdp.report.avg_latency_cycles);
+    return 0;
+}
+
+int run_simulate(int argc, char** argv) {
+    std::string design_file;
+    std::string benchmark;
+    std::string out_prefix;
+    double freq_mhz = 400.0;
+    SynthesisConfig cfg;
+    SynthesisPhase phase = SynthesisPhase::Auto;
+    sim::SimParams sp;
+    std::vector<double> rates{0.25, 0.5, 0.75, 1.0};
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        auto next_ll = [&](long long& out) {
+            const char* v = next();
+            long long n = 0;
+            if (!v || !parse_int64(v, n) || n < 0) return false;
+            out = n;
+            return true;
+        };
+        if (arg == "--design") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            design_file = v;
+        } else if (arg == "--benchmark") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            benchmark = v;
+        } else if (arg == "--freq") {
+            const char* v = next();
+            if (!v || !parse_double(v, freq_mhz) || freq_mhz <= 0.0)
+                return usage(argv[0]);
+        } else if (arg == "--max-ill") {
+            const char* v = next();
+            if (!v || !parse_int(v, cfg.max_ill)) return usage(argv[0]);
+        } else if (arg == "--alpha") {
+            const char* v = next();
+            if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
+        } else if (arg == "--phase") {
+            const char* v = next();
+            if (!v || !phase_from_string(v, phase)) return usage(argv[0]);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            int seed = 0;
+            if (!v || !parse_int(v, seed)) return usage(argv[0]);
+            cfg.seed = static_cast<std::uint64_t>(seed);
+            sp.seed = cfg.seed;
+        } else if (arg == "--no-floorplan") {
+            cfg.run_floorplan = false;
+        } else if (arg == "--rate") {
+            const char* v = next();
+            if (!v || !parse_double_list(v, rates)) return usage(argv[0]);
+            for (double r : rates)
+                if (r < 0.0) return usage(argv[0]);
+        } else if (arg == "--traffic") {
+            const char* v = next();
+            if (!v || !sim::traffic_from_string(v, sp.inject.traffic))
+                return usage(argv[0]);
+        } else if (arg == "--packet-len") {
+            const char* v = next();
+            if (!v || !parse_int(v, sp.inject.packet_length_flits) ||
+                sp.inject.packet_length_flits < 1)
+                return usage(argv[0]);
+        } else if (arg == "--buffers") {
+            const char* v = next();
+            if (!v || !parse_int(v, sp.buffer_depth_flits) ||
+                sp.buffer_depth_flits < 1)
+                return usage(argv[0]);
+        } else if (arg == "--warmup") {
+            if (!next_ll(sp.warmup_cycles)) return usage(argv[0]);
+        } else if (arg == "--measure") {
+            if (!next_ll(sp.measure_cycles) || sp.measure_cycles < 1)
+                return usage(argv[0]);
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            out_prefix = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+
+    DesignSpec spec;
+    if (!load_spec(design_file, benchmark, spec)) return 1;
+    cfg.eval.freq_hz = freq_mhz * 1e6;
+    std::printf("design '%s': %d cores, %d layers, %d flows\n",
+                spec.name.c_str(), spec.cores.num_cores(),
+                spec.cores.num_layers(), spec.comm.num_flows());
+
+    const SynthesisResult res = run_synthesis(spec, cfg, phase);
+    const int best = res.best_power_index();
+    if (best < 0) {
+        std::fprintf(stderr, "no valid design point to simulate\n");
+        return 1;
+    }
+    const DesignPoint& dp = res.points[static_cast<std::size_t>(best)];
+    std::printf("simulating best design: %d switches, %.2f mW total, "
+                "zero-load %.2f cycles, at %.0f MHz\n",
+                dp.switch_count, dp.report.power.total_mw(),
+                dp.report.avg_latency_cycles, freq_mhz);
+    std::printf("traffic %s, %d-flit packets, %d-flit buffers, "
+                "%lld warmup + %lld measured cycles\n\n",
+                sim::traffic_to_string(sp.inject.traffic),
+                sp.inject.packet_length_flits, sp.buffer_depth_flits,
+                sp.warmup_cycles, sp.measure_cycles);
+
+    Table t({"rate", "offered_fpc", "accepted_fpc", "avg_latency",
+             "p99_latency", "max_latency", "packets", "drained"});
+    for (double r : rates) {
+        sim::SimParams p = sp;
+        p.inject.injection_scale = r;
+        const sim::SimReport rep = sim::simulate(dp.topo, spec, cfg.eval, p);
+        t.add_row({r, rep.offered_flits_per_cycle,
+                   rep.accepted_flits_per_cycle, rep.avg_latency_cycles,
+                   rep.p99_latency_cycles, rep.max_latency_cycles,
+                   static_cast<long long>(rep.received_packets),
+                   static_cast<long long>(rep.drained ? 1 : 0)});
+    }
+    t.write_pretty(std::cout);
+
+    if (!out_prefix.empty()) {
+        if (!t.save_csv(out_prefix + "_sim.csv")) {
+            std::fprintf(stderr, "failed to write %s_sim.csv\n",
+                         out_prefix.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s_sim.csv\n", out_prefix.c_str());
+    }
     return 0;
 }
 
@@ -367,5 +571,7 @@ int run_synthesize(int argc, char** argv) {
 int main(int argc, char** argv) {
     if (argc > 1 && std::string(argv[1]) == "explore")
         return run_explore(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "simulate")
+        return run_simulate(argc, argv);
     return run_synthesize(argc, argv);
 }

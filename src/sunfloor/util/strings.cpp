@@ -81,4 +81,14 @@ bool parse_int(std::string_view s, int& out) {
     return true;
 }
 
+bool parse_int64(std::string_view s, long long& out) {
+    const std::string buf(trim(s));
+    if (buf.empty()) return false;
+    char* end = nullptr;
+    const long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (end != buf.c_str() + buf.size()) return false;
+    out = v;
+    return true;
+}
+
 }  // namespace sunfloor

@@ -29,4 +29,7 @@ bool parse_double(std::string_view s, double& out);
 /// Parse an integer, returning false on malformed input.
 bool parse_int(std::string_view s, int& out);
 
+/// Parse a 64-bit integer, returning false on malformed input.
+bool parse_int64(std::string_view s, long long& out);
+
 }  // namespace sunfloor

@@ -1,0 +1,178 @@
+// Golden-file regression tests for the exploration exporters: the CSV
+// and JSON documents of a hand-built ExploreResult are pinned byte for
+// byte, so column order, escaping and float formatting cannot drift
+// silently. If a change here is intentional, update the golden strings
+// *and* the format documentation in explore/export.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sunfloor/explore/explorer.h"
+#include "sunfloor/explore/export.h"
+
+namespace sunfloor {
+namespace {
+
+/// A fully deterministic two-design result: one valid design on the
+/// front, one failed design whose fail_reason needs CSV quoting.
+ExploreResult golden_result(bool with_sim) {
+    CoreSpec cores;
+    Core a;
+    a.name = "a";
+    a.position = {0.0, 0.0};
+    Core b = a;
+    b.name = "b";
+    b.position = {1.5, 0.0};
+    cores.add_core(a);
+    cores.add_core(b);
+
+    Topology topo(cores, 1);
+    topo.add_switch("sw0", 0, {0.75, 0.5});
+
+    DesignPoint valid(topo);
+    valid.phase = "phase1";
+    valid.switch_count = 3;
+    valid.theta = 4.0;
+    valid.valid = true;
+    valid.report.power.switch_mw = 10.5;
+    valid.report.power.s2s_link_mw = 1.25;
+    valid.report.power.c2s_link_mw = 0.75;
+    valid.report.power.ni_mw = 0.5;
+    valid.report.avg_latency_cycles = 2.125;
+    valid.report.switch_area_mm2 = 0.5;
+    valid.report.ni_area_mm2 = 0.25;
+    valid.report.tsv_macro_area_mm2 = 0.0625;
+    valid.report.total_tsvs = 12;
+
+    DesignPoint failed(topo);
+    failed.phase = "phase1";
+    failed.switch_count = 4;
+    failed.valid = false;
+    failed.fail_reason = "routing failed, \"req\" class";
+
+    ExplorePointResult pr;
+    pr.point.index = 0;
+    pr.point.freq_hz = 400e6;
+    pr.point.max_tsvs = 25;
+    pr.point.link_width_bits = 32;
+    pr.point.phase = SynthesisPhase::Auto;
+    pr.point.theta = 4.0;
+    pr.result.points.push_back(valid);
+    pr.result.points.push_back(failed);
+    pr.result.phase_used = "phase1";
+    pr.seed = 1;
+    pr.cache_hit = false;
+    pr.pareto_survivors = 1;
+    if (with_sim) {
+        pr.sim_reports.resize(2);
+        auto& sr = pr.sim_reports[0];
+        sr.avg_latency_cycles = 3.25;
+        sr.p99_latency_cycles = 7.5;
+        sr.accepted_flits_per_cycle = 0.515625;
+        sr.cycles_run = 1000;  // marks the design as simulated
+    }
+
+    ExploreResult res;
+    res.points.push_back(std::move(pr));
+    res.pareto.push_back({0, 0});
+    res.stats.total_points = 1;
+    res.stats.evaluated_points = 1;
+    res.stats.cache_hits = 0;
+    res.stats.total_designs = 2;
+    res.stats.valid_designs = 1;
+    res.stats.unique_valid_designs = 1;
+    res.stats.pareto_size = 1;
+    res.stats.dominated_designs = 0;
+    res.stats.num_threads = 1;
+    res.stats.backend =
+        with_sim ? EvalBackend::Simulated : EvalBackend::Analytic;
+    res.stats.simulated_designs = with_sim ? 1 : 0;
+    res.stats.elapsed_ms = 12.3456;
+    return res;
+}
+
+TEST(ExportGolden, CsvByteExact) {
+    std::ostringstream os;
+    explore_table(golden_result(false)).write_csv(os);
+    const std::string expected =
+        "point,freq_mhz,max_tsvs,link_width_bits,phase,theta,switches,"
+        "valid,power_mw,latency_cycles,sim_latency_cycles,area_mm2,tsvs,"
+        "pareto,cache_hit,fail_reason\n"
+        "0,400,25,32,auto,4,3,1,13,2.125,-1,0.8125,12,1,0,\n"
+        "0,400,25,32,auto,4,4,0,0,0,-1,0,0,0,0,"
+        "\"routing failed, \"\"req\"\" class\"\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ExportGolden, CsvSimLatencyColumn) {
+    std::ostringstream os;
+    explore_table(golden_result(true)).write_csv(os);
+    const std::string expected =
+        "point,freq_mhz,max_tsvs,link_width_bits,phase,theta,switches,"
+        "valid,power_mw,latency_cycles,sim_latency_cycles,area_mm2,tsvs,"
+        "pareto,cache_hit,fail_reason\n"
+        "0,400,25,32,auto,4,3,1,13,2.125,3.25,0.8125,12,1,0,\n"
+        "0,400,25,32,auto,4,4,0,0,0,-1,0,0,0,0,"
+        "\"routing failed, \"\"req\"\" class\"\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ExportGolden, JsonByteExact) {
+    std::ostringstream os;
+    write_explore_json(os, golden_result(false), "D \"golden\"");
+    const std::string expected =
+        "{\n"
+        "  \"design\": \"D \\\"golden\\\"\",\n"
+        "  \"stats\": {\n"
+        "    \"total_points\": 1,\n"
+        "    \"evaluated_points\": 1,\n"
+        "    \"cache_hits\": 0,\n"
+        "    \"total_designs\": 2,\n"
+        "    \"valid_designs\": 1,\n"
+        "    \"unique_valid_designs\": 1,\n"
+        "    \"pareto_size\": 1,\n"
+        "    \"dominated_designs\": 0,\n"
+        "    \"num_threads\": 1,\n"
+        "    \"backend\": \"analytic\",\n"
+        "    \"simulated_designs\": 0,\n"
+        "    \"elapsed_ms\": 12.346\n"
+        "  },\n"
+        "  \"points\": [\n"
+        "    {\"point\": 0, \"label\": \"f=400MHz tsv=25 w=32 phase=auto"
+        " theta=4\", \"freq_hz\": 400000000, \"max_tsvs\": 25,"
+        " \"link_width_bits\": 32, \"phase\": \"auto\", \"theta\": 4,"
+        " \"phase_used\": \"phase1\", \"cache_hit\": false,"
+        " \"designs\": 2, \"valid\": 1, \"pareto_survivors\": 1}\n"
+        "  ],\n"
+        "  \"pareto\": [\n"
+        "    {\"point\": 0, \"design\": 0, \"switches\": 3,"
+        " \"power_mw\": 13.0000, \"latency_cycles\": 2.1250,"
+        " \"area_mm2\": 0.8125}\n"
+        "  ]\n"
+        "}\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ExportGolden, JsonSimFields) {
+    std::ostringstream os;
+    write_explore_json(os, golden_result(true), "D_sim");
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"backend\": \"sim\""), std::string::npos);
+    EXPECT_NE(json.find("\"simulated_designs\": 1"), std::string::npos);
+    EXPECT_NE(json.find("{\"point\": 0, \"design\": 0, \"switches\": 3,"
+                        " \"power_mw\": 13.0000,"
+                        " \"latency_cycles\": 2.1250,"
+                        " \"sim_latency_cycles\": 3.2500,"
+                        " \"sim_p99_latency_cycles\": 7.5000,"
+                        " \"sim_accepted_flits_per_cycle\": 0.5156,"
+                        " \"area_mm2\": 0.8125}"),
+              std::string::npos);
+}
+
+TEST(ExportGolden, JsonQuoteControlCharacters) {
+    EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(json_quote(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+}
+
+}  // namespace
+}  // namespace sunfloor

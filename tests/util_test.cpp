@@ -150,6 +150,16 @@ TEST(Strings, ParseInt) {
     EXPECT_FALSE(parse_int("", v));
 }
 
+TEST(Strings, ParseInt64) {
+    long long v = 0;
+    EXPECT_TRUE(parse_int64("3000000000", v));  // beyond 32-bit range
+    EXPECT_EQ(v, 3000000000LL);
+    EXPECT_TRUE(parse_int64(" -9 ", v));
+    EXPECT_EQ(v, -9);
+    EXPECT_FALSE(parse_int64("4.2", v));
+    EXPECT_FALSE(parse_int64("", v));
+}
+
 TEST(Table, ArityChecked) {
     Table t({"a", "b"});
     EXPECT_THROW(t.add_row({Cell{std::string("x")}}), std::invalid_argument);
