@@ -35,7 +35,8 @@ void BM_explore(benchmark::State& state) {
 
     ExploreOptions opts;
     opts.num_threads = static_cast<int>(state.range(0));
-    opts.use_cache = false;  // every point does full work in every run
+    opts.use_cache = false;     // every point does full work in every run
+    opts.reuse_stages = false;  // ... including every pipeline stage
 
     const ParamGrid grid = scaling_grid();
     const Explorer explorer(spec, cfg, opts);
@@ -55,6 +56,56 @@ BENCHMARK(BM_explore)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Cross-point stage reuse on the grid shape it targets: frequency x link
+// width only, so every point shares the partition inputs (phase, theta)
+// and the shared SynthesisSession serves partition artifacts — plus any
+// coinciding routed topologies' LP placements — from its cache. Arg(0)
+// recomputes every stage per point, Arg(1) reuses; both use the same
+// partition-key seeding, so the wall-clock ratio isolates the reuse win.
+// Serial on purpose: the thread-scaling win is measured by BM_explore
+// above and composes with this one. A fresh Explorer per iteration keeps
+// warm-cache effects out.
+void BM_explore_freq_width(benchmark::State& state) {
+    static const DesignSpec spec = prepared_benchmark("D_36_4");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    cfg.max_switches = 6;  // bound the per-point switch-count sweep
+
+    ExploreOptions opts;
+    opts.num_threads = 1;
+    opts.use_cache = false;  // all points are distinct anyway
+    opts.reuse_stages = state.range(0) != 0;
+
+    ParamGrid grid;
+    grid.set_axis(
+        ParamAxis::frequencies_hz({300e6, 350e6, 400e6, 450e6, 500e6,
+                                   550e6, 600e6, 650e6}));
+    grid.set_axis(ParamAxis::link_widths_bits({32, 64}));
+
+    long long hits = 0;
+    long long calls = 0;
+    for (auto _ : state) {
+        const Explorer explorer(spec, cfg, opts);
+        const ExploreResult res = explorer.run(grid);
+        const auto& sg = res.stats.stage;
+        hits += sg.partition.hits + sg.routing.hits + sg.placement.hits +
+                sg.evaluation.hits;
+        calls += sg.partition.calls() + sg.routing.calls() +
+                 sg.placement.calls() + sg.evaluation.calls();
+        benchmark::DoNotOptimize(res.stats.valid_designs);
+    }
+    state.counters["stage_hits"] =
+        static_cast<double>(hits / state.iterations());
+    state.counters["stage_calls"] =
+        static_cast<double>(calls / state.iterations());
+}
+BENCHMARK(BM_explore_freq_width)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

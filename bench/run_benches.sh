@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the tracked performance benches and distill their JSON output:
 #   bench_explore_scaling -> BENCH_explore.json (points/sec per thread
-#     count, speedup vs 1 thread)
+#     count, speedup vs 1 thread, plus the pipeline stage-reuse win on a
+#     frequency x link-width grid)
 #   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
 #     curves per paper benchmark)
 # Extra arguments are passed through to both bench binaries
@@ -35,14 +36,19 @@ import json, sys
 
 raw = json.load(open(sys.argv[1]))
 rows = {}
+reuse_rows = {}
 for b in raw.get("benchmarks", []):
-    # Names look like BM_explore/4/process_time/real_time. Skip the
-    # _mean/_median/_stddev/_cv rows --benchmark_repetitions adds; average
-    # the per-repetition measurements instead.
+    # Names look like BM_explore/4/process_time/real_time or
+    # BM_explore_freq_width/1/... . Skip the _mean/_median/_stddev/_cv
+    # rows --benchmark_repetitions adds; average the per-repetition
+    # measurements instead.
     if "aggregate_name" in b:
         continue
-    t = int(b["name"].split("/")[1])
-    rows.setdefault(t, []).append(b)
+    parts = b["name"].split("/")
+    if parts[0] == "BM_explore":
+        rows.setdefault(int(parts[1]), []).append(b)
+    elif parts[0] == "BM_explore_freq_width":
+        reuse_rows.setdefault(int(parts[1]), []).append(b)
 threads = {}
 for t, bs in rows.items():
     n = len(bs)
@@ -58,10 +64,28 @@ base = threads.get(1, {}).get("real_time_ms")
 for t, r in threads.items():
     r["speedup_vs_1_thread"] = round(base / r["real_time_ms"], 3) if base else None
 
+# Stage reuse on the frequency x link-width grid: arg 0 = recompute every
+# stage per point, arg 1 = shared-session artifact reuse.
+stage_reuse = {}
+for arg, bs in reuse_rows.items():
+    n = len(bs)
+    stage_reuse["on" if arg else "off"] = {
+        "real_time_ms": round(sum(b["real_time"] for b in bs) / n, 3),
+        "stage_hits": round(sum(b.get("stage_hits", 0.0) for b in bs) / n, 1),
+        "stage_calls": round(
+            sum(b.get("stage_calls", 0.0) for b in bs) / n, 1),
+        "repetitions": n,
+    }
+if "off" in stage_reuse and "on" in stage_reuse:
+    stage_reuse["speedup_vs_no_reuse"] = round(
+        stage_reuse["off"]["real_time_ms"] /
+        stage_reuse["on"]["real_time_ms"], 3)
+
 out = {
     "bench": "bench_explore_scaling",
     "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
     "threads": {str(t): threads[t] for t in sorted(threads)},
+    "stage_reuse": stage_reuse,
 }
 with open(sys.argv[2], "w") as f:
     json.dump(out, f, indent=2)

@@ -1,91 +1,19 @@
 // Phase 1 — Algorithm 1 of the paper.
-#include <cmath>
-#include <set>
-
-#include "sunfloor/core/partition_graphs.h"
+//
+// The algorithm itself lives in pipeline::SynthesisSession::phase1 (the
+// staged form with cacheable artifacts); this entry point runs it cold
+// through the caller's generator for compatibility with direct users.
 #include "sunfloor/core/synthesizer.h"
+#include "sunfloor/pipeline/session.h"
 
 namespace sunfloor {
 
-namespace {
-
-// Step 7 of Algorithm 1: a switch is assigned to the rounded average of the
-// layers of the cores in its block.
-CoreAssignment assignment_from_blocks(const std::vector<int>& block, int k,
-                                      const CoreSpec& cores) {
-    CoreAssignment a;
-    a.core_switch = block;
-    a.switch_layer.assign(static_cast<std::size_t>(k), 0);
-    std::vector<double> layer_sum(static_cast<std::size_t>(k), 0.0);
-    std::vector<int> count(static_cast<std::size_t>(k), 0);
-    for (int c = 0; c < cores.num_cores(); ++c) {
-        const int b = block.at(static_cast<std::size_t>(c));
-        layer_sum[static_cast<std::size_t>(b)] += cores.core(c).layer;
-        ++count[static_cast<std::size_t>(b)];
-    }
-    for (int s = 0; s < k; ++s)
-        a.switch_layer[static_cast<std::size_t>(s)] =
-            count[static_cast<std::size_t>(s)] > 0
-                ? static_cast<int>(std::lround(
-                      layer_sum[static_cast<std::size_t>(s)] /
-                      count[static_cast<std::size_t>(s)]))
-                : 0;
-    return a;
-}
-
-}  // namespace
-
 std::vector<DesignPoint> run_phase1(const DesignSpec& spec,
                                     const SynthesisConfig& cfg, Rng& rng) {
-    const int n = spec.cores.num_cores();
-    std::vector<int> core_layer(static_cast<std::size_t>(n));
-    for (int c = 0; c < n; ++c)
-        core_layer[static_cast<std::size_t>(c)] = spec.cores.core(c).layer;
-
-    const Digraph pg = build_partition_graph(spec.comm, n, cfg.alpha);
-
-    const int lo = cfg.min_switches > 0 ? cfg.min_switches : 1;
-    const int hi = cfg.max_switches > 0 ? std::min(cfg.max_switches, n) : n;
-
-    std::vector<DesignPoint> points;
-    std::set<int> unmet;
-
-    // Steps 4-10: sweep the switch count over min-cut partitions of PG.
-    for (int i = lo; i <= hi; ++i) {
-        const PartitionResult part = partition_kway(pg, i, rng, cfg.partition);
-        const CoreAssignment assign =
-            assignment_from_blocks(part.block, i, spec.cores);
-        DesignPoint dp =
-            synthesize_design_point(spec, cfg, assign, "phase1", 0.0, rng);
-        if (!dp.valid) unmet.insert(i);
-        points.push_back(std::move(dp));
-    }
-
-    // Steps 11-20: theta sweep over the SPG for the unmet switch counts.
-    for (double theta = cfg.theta_min;
-         !unmet.empty() && theta <= cfg.theta_max + 1e-9;
-         theta += cfg.theta_step) {
-        const Digraph spg =
-            build_scaled_partition_graph(pg, core_layer, theta, cfg.theta_max);
-        for (auto it = unmet.begin(); it != unmet.end();) {
-            const int i = *it;
-            const PartitionResult part =
-                partition_kway(spg, i, rng, cfg.partition);
-            const CoreAssignment assign =
-                assignment_from_blocks(part.block, i, spec.cores);
-            DesignPoint dp =
-                synthesize_design_point(spec, cfg, assign, "phase1", theta, rng);
-            if (dp.valid) {
-                // Replace the failed entry for this switch count.
-                for (auto& existing : points)
-                    if (existing.switch_count == i && !existing.valid)
-                        existing = std::move(dp);
-                it = unmet.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
+    pipeline::SynthesisSession session(spec);
+    RngState state = rng.state();
+    std::vector<DesignPoint> points = session.phase1(cfg, state);
+    rng.set_state(state);
     return points;
 }
 

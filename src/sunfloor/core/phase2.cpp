@@ -1,70 +1,19 @@
 // Phase 2 — Algorithm 2 of the paper (layer-by-layer synthesis).
-#include <algorithm>
-
-#include "sunfloor/core/partition_graphs.h"
+//
+// The algorithm itself lives in pipeline::SynthesisSession::phase2 (the
+// staged form with cacheable artifacts); this entry point runs it cold
+// through the caller's generator for compatibility with direct users.
 #include "sunfloor/core/synthesizer.h"
+#include "sunfloor/pipeline/session.h"
 
 namespace sunfloor {
 
 std::vector<DesignPoint> run_phase2(const DesignSpec& spec,
                                     const SynthesisConfig& cfg, Rng& rng) {
-    SynthesisConfig cfg2 = cfg;
-    cfg2.allow_multilayer_links = false;  // adjacent layers only
-
-    const int layers = std::max(1, spec.cores.num_layers());
-    const int max_sw_size = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
-
-    // Steps 2-5: minimum switches per layer and the per-layer LPGs. A block
-    // of b cores occupies b input and b output ports, so the largest block
-    // usable at this frequency leaves room for at least two inter-switch
-    // ports.
-    const int max_block = std::max(1, max_sw_size - 2);
-    std::vector<LayerGraph> lpg;
-    std::vector<int> ni(static_cast<std::size_t>(layers), 0);
-    int sweep_len = 0;
-    for (int ly = 0; ly < layers; ++ly) {
-        lpg.push_back(
-            build_layer_partition_graph(spec.comm, spec.cores, ly, cfg.alpha));
-        const int cores_in_layer =
-            static_cast<int>(lpg.back().core_ids.size());
-        ni[static_cast<std::size_t>(ly)] =
-            cores_in_layer > 0 ? (cores_in_layer + max_block - 1) / max_block
-                               : 0;
-        sweep_len = std::max(
-            sweep_len, cores_in_layer - ni[static_cast<std::size_t>(ly)]);
-    }
-
-    std::vector<DesignPoint> points;
-    // Step 6: increment every layer's switch count together until each
-    // layer has one switch per core.
-    for (int i = 0; i <= sweep_len; ++i) {
-        CoreAssignment assign;
-        assign.core_switch.assign(
-            static_cast<std::size_t>(spec.cores.num_cores()), -1);
-        for (int ly = 0; ly < layers; ++ly) {
-            const auto& lg = lpg[static_cast<std::size_t>(ly)];
-            const int cores_in_layer = static_cast<int>(lg.core_ids.size());
-            if (cores_in_layer == 0) continue;
-            const int np = std::min(ni[static_cast<std::size_t>(ly)] + i,
-                                    cores_in_layer);
-            PartitionOptions popts = cfg.partition;
-            // "About equal number of cores" per block (Algorithm 2), and
-            // never more than a max-size switch can serve.
-            popts.max_block_size =
-                std::min(max_block, (cores_in_layer + np - 1) / np);
-            const PartitionResult part =
-                partition_kway(lg.g, np, rng, popts);
-            const int base = assign.num_switches();
-            for (int s = 0; s < np; ++s) assign.switch_layer.push_back(ly);
-            for (int v = 0; v < cores_in_layer; ++v)
-                assign.core_switch[static_cast<std::size_t>(
-                    lg.core_ids[static_cast<std::size_t>(v)])] =
-                    base + part.block[static_cast<std::size_t>(v)];
-        }
-        DesignPoint dp = synthesize_design_point(spec, cfg2, assign, "phase2",
-                                                 0.0, rng);
-        points.push_back(std::move(dp));
-    }
+    pipeline::SynthesisSession session(spec);
+    RngState state = rng.state();
+    std::vector<DesignPoint> points = session.phase2(cfg, state);
+    rng.set_state(state);
     return points;
 }
 

@@ -10,12 +10,10 @@
 
 namespace sunfloor {
 
-bool place_switches_lp(Topology& topo, const DesignSpec& spec) {
-    const int nsw = topo.num_switches();
-    if (nsw == 0) return true;
-
+PlacementProblem build_switch_placement_problem(const Topology& topo,
+                                                const DesignSpec& spec) {
     PlacementProblem p;
-    p.num_movable = nsw;
+    p.num_movable = topo.num_switches();
     p.fixed_points.reserve(static_cast<std::size_t>(spec.cores.num_cores()));
     for (const auto& c : spec.cores.cores())
         p.fixed_points.push_back(c.center());
@@ -40,10 +38,23 @@ bool place_switches_lp(Topology& topo, const DesignSpec& spec) {
         p.fixed_conns.push_back({key.first, key.second, w});
     for (const auto& [key, w] : s2s)
         p.movable_conns.push_back({key.first, key.second, w});
+    return p;
+}
 
+PlacementResult solve_switch_placement(const PlacementProblem& p,
+                                       bool& lp_ok) {
     PlacementResult r = solve_placement_lp(p);
-    bool lp_ok = r.ok;
+    lp_ok = r.ok;
     if (!lp_ok) r = solve_placement_median(p);
+    return r;
+}
+
+bool place_switches_lp(Topology& topo, const DesignSpec& spec) {
+    const int nsw = topo.num_switches();
+    if (nsw == 0) return true;
+    const PlacementProblem p = build_switch_placement_problem(topo, spec);
+    bool lp_ok = false;
+    const PlacementResult r = solve_switch_placement(p, lp_ok);
     for (int s = 0; s < nsw; ++s)
         topo.switch_at(s).position = r.positions[static_cast<std::size_t>(s)];
     return lp_ok;

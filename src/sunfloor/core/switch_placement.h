@@ -21,12 +21,29 @@
 #include "sunfloor/core/design_point.h"
 #include "sunfloor/floorplan/inserter.h"
 #include "sunfloor/floorplan/tsv_macros.h"
+#include "sunfloor/lp/placement_lp.h"
 
 namespace sunfloor {
 
+/// Build the Eq. 2-5 instance for `topo`'s switches over `spec`'s cores:
+/// request/response channels between the same endpoints merge into one
+/// bandwidth-weighted pull. The problem captures everything the position
+/// solve consumes, so equal problems have equal solutions (the pipeline's
+/// LP cache keys on exactly this).
+PlacementProblem build_switch_placement_problem(const Topology& topo,
+                                                const DesignSpec& spec);
+
+/// Solve a switch-placement instance: the simplex, falling back to
+/// weighted-median descent when it fails. `lp_ok` reports whether the
+/// simplex reached optimality (the returned positions are the fallback's
+/// otherwise).
+PlacementResult solve_switch_placement(const PlacementProblem& p,
+                                       bool& lp_ok);
+
 /// Solve the switch-position LP and write the coordinates into `topo`.
 /// Returns false when the simplex failed (positions fall back to the
-/// weighted-median solution in that case).
+/// weighted-median solution in that case). Composes the two functions
+/// above.
 bool place_switches_lp(Topology& topo, const DesignSpec& spec);
 
 /// Per-layer legalization summary.

@@ -1,31 +1,30 @@
 #include "sunfloor/core/synthesizer.h"
 
-#include "sunfloor/core/path_compute.h"
-#include "sunfloor/core/switch_placement.h"
-#include "sunfloor/noc/deadlock.h"
-#include "sunfloor/util/strings.h"
+#include "sunfloor/pipeline/session.h"
+#include "sunfloor/util/enum_names.h"
 
 namespace sunfloor {
 
+namespace {
+
+constexpr EnumName<SynthesisPhase> kPhaseNames[] = {
+    {SynthesisPhase::Auto, "auto"},
+    {SynthesisPhase::Phase1, "1"},
+    {SynthesisPhase::Phase2, "2"},
+};
+
+}  // namespace
+
 const char* phase_to_string(SynthesisPhase phase) {
-    switch (phase) {
-        case SynthesisPhase::Phase1: return "1";
-        case SynthesisPhase::Phase2: return "2";
-        case SynthesisPhase::Auto: break;
-    }
-    return "auto";
+    return enum_to_string<SynthesisPhase>(kPhaseNames, phase, "auto");
 }
 
 bool phase_from_string(const std::string& s, SynthesisPhase& out) {
-    if (s == "auto")
-        out = SynthesisPhase::Auto;
-    else if (s == "1")
-        out = SynthesisPhase::Phase1;
-    else if (s == "2")
-        out = SynthesisPhase::Phase2;
-    else
-        return false;
-    return true;
+    return enum_from_string<SynthesisPhase>(kPhaseNames, s, out);
+}
+
+std::string phase_choices() {
+    return enum_choices<SynthesisPhase>(kPhaseNames);
 }
 
 DesignPoint synthesize_design_point(const DesignSpec& spec,
@@ -33,75 +32,35 @@ DesignPoint synthesize_design_point(const DesignSpec& spec,
                                     const CoreAssignment& assign,
                                     const std::string& phase, double theta,
                                     Rng& rng) {
-    DesignPoint dp(build_initial_topology(spec, assign));
+    // One uncached pass through the pipeline stages (pipeline/session.h) —
+    // the session runs exactly this code behind its artifact caches.
+    const pipeline::RoutingArtifact routed =
+        pipeline::route_assignment(spec, cfg, assign);
+    DesignPoint dp = [&] {
+        if (!routed.ok) return pipeline::failed_design(routed);
+        const pipeline::PlacementArtifact placed =
+            pipeline::place_design(routed, spec, cfg, rng);
+        return pipeline::evaluate_design(placed, spec, cfg);
+    }();
     dp.phase = phase;
-    dp.switch_count = assign.num_switches();
     dp.theta = theta;
-
-    const int layers = spec.cores.num_layers();
-
-    // Pruning rule 3 (Section V-C): reject before path computation when the
-    // core-to-switch links alone blow the inter-layer budget.
-    if (dp.topo.max_ill_used(layers) > cfg.max_ill) {
-        dp.fail_reason = format("core links need %d inter-layer links > max_ill %d",
-                                dp.topo.max_ill_used(layers), cfg.max_ill);
-        return dp;
-    }
-    // Pruning rule 1: cores attached to one switch may not already exceed
-    // the size usable at this frequency (ports are one per incident link).
-    const int max_sw = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
-    for (int s = 0; s < dp.topo.num_switches(); ++s) {
-        if (dp.topo.switch_in_degree(s) > max_sw ||
-            dp.topo.switch_out_degree(s) > max_sw) {
-            dp.fail_reason =
-                format("switch %d exceeds max size %d at %.0f MHz", s,
-                       max_sw, cfg.eval.freq_hz / 1e6);
-            return dp;
-        }
-    }
-
-    const PathComputeResult paths = compute_paths(dp.topo, spec, cfg);
-    if (!paths.ok) {
-        dp.fail_reason = format("path computation failed (%zu flows, %zu capacity)",
-                                paths.failed_flows.size(),
-                                paths.capacity_violations.size());
-        return dp;
-    }
-
-    place_switches_lp(dp.topo, spec);
-    if (cfg.run_floorplan) {
-        const FloorplanOutcome fp =
-            legalize_floorplan(dp.topo, spec, cfg, /*use_standard=*/false, rng);
-        dp.layer_die_area_mm2 = fp.layer_area_mm2;
-    }
-
-    dp.report = evaluate_topology(dp.topo, spec, cfg.eval);
-
-    if (dp.topo.max_ill_used(layers) > cfg.max_ill)
-        dp.fail_reason = "max_ill violated";
-    else if (dp.report.latency_violations > 0)
-        dp.fail_reason = format("%d latency violations",
-                                dp.report.latency_violations);
-    else if (!is_routing_deadlock_free(dp.topo))
-        dp.fail_reason = "routing deadlock";
-    else if (!is_message_dependent_deadlock_free(dp.topo, spec.comm))
-        dp.fail_reason = "message-dependent deadlock";
-    else if (!classes_are_separated(dp.topo, spec.comm))
-        dp.fail_reason = "message classes share a channel";
-    else
-        dp.valid = true;
+    dp.switch_count = assign.num_switches();
     return dp;
 }
 
 std::vector<FrequencyPoint> Synthesizer::run_frequency_sweep(
     const std::vector<double>& freqs_hz, SynthesisPhase phase) const {
+    // One shared session across the sweep: operating points that agree on
+    // the partition inputs reuse those artifacts; results stay
+    // bit-identical to per-point run_synthesis calls.
+    pipeline::SynthesisSession session(spec_);
     std::vector<FrequencyPoint> sweep;
     for (double f : freqs_hz) {
         FrequencyPoint fp;
         fp.freq_hz = f;
         SynthesisConfig cfg = cfg_;
         cfg.eval.freq_hz = f;
-        fp.result = run_synthesis(spec_, cfg, phase);
+        fp.result = session.run(cfg, phase);
         sweep.push_back(std::move(fp));
     }
     return sweep;
@@ -131,28 +90,7 @@ std::pair<int, int> best_power_over_sweep(
 SynthesisResult run_synthesis(const DesignSpec& spec,
                               const SynthesisConfig& cfg,
                               SynthesisPhase phase) {
-    Rng rng(cfg.seed);
-    SynthesisResult result;
-    switch (phase) {
-        case SynthesisPhase::Phase1:
-            result.points = run_phase1(spec, cfg, rng);
-            result.phase_used = "phase1";
-            break;
-        case SynthesisPhase::Phase2:
-            result.points = run_phase2(spec, cfg, rng);
-            result.phase_used = "phase2";
-            break;
-        case SynthesisPhase::Auto: {
-            result.points = run_phase1(spec, cfg, rng);
-            result.phase_used = "phase1";
-            if (result.num_valid() == 0) {
-                result.points = run_phase2(spec, cfg, rng);
-                result.phase_used = "phase2";
-            }
-            break;
-        }
-    }
-    return result;
+    return pipeline::SynthesisSession(spec).run(cfg, phase);
 }
 
 SynthesisResult Synthesizer::run(SynthesisPhase phase) const {

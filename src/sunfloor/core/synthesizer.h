@@ -22,15 +22,34 @@ enum class SynthesisPhase {
 };
 
 /// "auto", "1" or "2" — the single source for CLI parsing, cache keys and
-/// exports.
+/// exports (one enum_names table behind all three helpers).
 const char* phase_to_string(SynthesisPhase phase);
 
-/// Inverse of phase_to_string; returns false on any other input.
+/// Inverse of phase_to_string; ASCII case-insensitive, returns false on
+/// any other input.
 bool phase_from_string(const std::string& s, SynthesisPhase& out);
+
+/// "auto|1|2" — for uniform CLI error messages.
+std::string phase_choices();
+
+/// Wall clock spent at each stage boundary of one synthesis run (the
+/// pipeline stages of Fig. 3; see pipeline/session.h). Cache hits inside
+/// a warm SynthesisSession shrink the corresponding stage's share.
+struct StageTiming {
+    double partition_ms = 0.0;   ///< core partitioning (PG/SPG/LPG cuts)
+    double routing_ms = 0.0;     ///< initial topology + path computation
+    double placement_ms = 0.0;   ///< position LP + floorplan legalization
+    double evaluation_ms = 0.0;  ///< power/latency/area + validity checks
+
+    double total_ms() const {
+        return partition_ms + routing_ms + placement_ms + evaluation_ms;
+    }
+};
 
 struct SynthesisResult {
     std::vector<DesignPoint> points;
     std::string phase_used;
+    StageTiming timing;
 
     int best_power_index() const { return best_power_point(points); }
     int best_latency_index() const { return best_latency_point(points); }
@@ -71,8 +90,13 @@ struct FrequencyPoint {
 
 /// Stateless synthesis entry point: run the full flow for one (spec,
 /// config) pair. Safe to call concurrently from many threads — all state
-/// (including the Rng, seeded from cfg.seed) is local to the call. The
-/// explore engine drives this directly.
+/// (including the Rng, seeded from cfg.seed) is local to the call.
+///
+/// This is the compatibility wrapper around the staged pipeline: it runs
+/// a cold pipeline::SynthesisSession, and a warm session produces
+/// bit-identical results (see pipeline/session.h). Callers that evaluate
+/// many related configurations — the explore engine, frequency sweeps —
+/// share a session instead to reuse per-stage artifacts.
 SynthesisResult run_synthesis(const DesignSpec& spec,
                               const SynthesisConfig& cfg,
                               SynthesisPhase phase = SynthesisPhase::Auto);

@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "sunfloor/util/enum_names.h"
 #include "sunfloor/util/thread_pool.h"
 
 namespace sunfloor {
@@ -21,23 +22,26 @@ std::uint64_t fnv1a(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+constexpr EnumName<EvalBackend> kBackendNames[] = {
+    {EvalBackend::Analytic, "analytic"},
+    {EvalBackend::Simulated, "sim"},
+    {EvalBackend::Simulated, "simulated"},  // parse-only alias
+};
+
+}  // namespace
+
 const char* backend_to_string(EvalBackend b) {
-    switch (b) {
-        case EvalBackend::Analytic: return "analytic";
-        case EvalBackend::Simulated: return "sim";
-    }
-    return "analytic";
+    return enum_to_string<EvalBackend>(kBackendNames, b, "analytic");
 }
 
 bool backend_from_string(const std::string& s, EvalBackend& out) {
-    if (s == "analytic") {
-        out = EvalBackend::Analytic;
-    } else if (s == "sim" || s == "simulated") {
-        out = EvalBackend::Simulated;
-    } else {
-        return false;
-    }
-    return true;
+    return enum_from_string<EvalBackend>(kBackendNames, s, out);
+}
+
+std::string backend_choices() {
+    return enum_choices<EvalBackend>(kBackendNames);
 }
 
 std::uint64_t explore_point_seed(std::uint64_t base_seed,
@@ -149,7 +153,7 @@ std::vector<ParetoEntry> global_pareto_measured(
 Explorer::Explorer(DesignSpec spec, SynthesisConfig base_cfg,
                    ExploreOptions opts)
     : spec_(std::move(spec)), base_cfg_(std::move(base_cfg)),
-      opts_(opts) {}
+      opts_(opts), session_(spec_) {}
 
 std::size_t Explorer::cache_size() const {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -173,9 +177,15 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     std::unordered_map<std::string, std::size_t> first_of_key;
     std::vector<std::string> keys(points.size());
     std::vector<char> intra_run_dup(points.size(), 0);
+    const pipeline::SessionStats stage_before = session_.stats();
     for (std::size_t i = 0; i < points.size(); ++i) {
         keys[i] = points[i].key();
         out.points[i].seed = explore_point_seed(opts_.base_seed, keys[i]);
+        // The synthesis seed mixes only the partition-stage fields, so
+        // points differing in frequency / TSV budget / link width share
+        // their partition RNG streams — the precondition for stage reuse.
+        out.points[i].synth_seed =
+            explore_point_seed(opts_.base_seed, points[i].partition_key());
         if (!opts_.use_cache) {
             to_eval.push_back(i);
             continue;
@@ -204,8 +214,13 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
         const std::size_t i = to_eval[slot];
         const GridPoint& p = points[i];
         SynthesisConfig cfg = p.apply(base_cfg_);
-        cfg.seed = out.points[i].seed;
-        out.points[i].result = run_synthesis(spec_, cfg, p.phase);
+        cfg.seed = out.points[i].synth_seed;
+        // The shared session is bit-identical to the stateless call (its
+        // artifact caches are keyed on everything a stage consumes), so
+        // the reuse toggle only changes how much work is recomputed.
+        out.points[i].result = opts_.reuse_stages
+                                   ? session_.run(cfg, p.phase)
+                                   : run_synthesis(spec_, cfg, p.phase);
     };
 
     int threads = opts_.num_threads;
@@ -315,6 +330,7 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     st.num_threads = threads;
     st.backend = opts_.backend;
     st.simulated_designs = simulated_designs;
+    st.stage = session_.stats() - stage_before;
     st.elapsed_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

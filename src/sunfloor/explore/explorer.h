@@ -21,6 +21,7 @@
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/explore/param_grid.h"
+#include "sunfloor/pipeline/session.h"
 #include "sunfloor/sim/simulator.h"
 
 namespace sunfloor {
@@ -31,11 +32,16 @@ enum class EvalBackend {
     Simulated,  ///< measured latency from the flit-level simulator
 };
 
-/// "analytic" or "sim" — the single source for CLI parsing and exports.
+/// "analytic" or "sim" — the single source for CLI parsing and exports
+/// (one enum_names table behind all three helpers).
 const char* backend_to_string(EvalBackend b);
 
-/// Inverse of backend_to_string; returns false on any other input.
+/// Inverse of backend_to_string; ASCII case-insensitive, also accepts the
+/// "simulated" alias; returns false on any other input.
 bool backend_from_string(const std::string& s, EvalBackend& out);
+
+/// "analytic|sim" — for uniform CLI error messages.
+std::string backend_choices();
 
 struct ExploreOptions {
     /// Worker threads; 1 runs inline on the caller (the serial reference
@@ -45,6 +51,14 @@ struct ExploreOptions {
     /// Reuse results for repeated architectural points, both within one
     /// run and across runs on the same Explorer.
     bool use_cache = true;
+
+    /// Drive the shared staged-pipeline session so points that agree on
+    /// the partition inputs (phase, theta) reuse partition/assignment
+    /// artifacts across frequency / TSV / link-width variations. Reuse is
+    /// bit-transparent (see pipeline/session.h); disabling it only
+    /// recomputes every stage per point under the same seeding, kept for
+    /// benchmarking the reuse win.
+    bool reuse_stages = true;
 
     /// Base RNG seed mixed into every point's seed.
     std::uint64_t base_seed = Rng::kDefaultSeed;
@@ -64,7 +78,11 @@ struct ExploreOptions {
 struct ExplorePointResult {
     GridPoint point;
     SynthesisResult result;
-    std::uint64_t seed = 0;   ///< the derived per-point seed
+    std::uint64_t seed = 0;   ///< the derived per-point seed (sim seeding)
+    /// Synthesis RNG seed, derived from the point's partition_key() only,
+    /// so points differing in frequency / TSV budget / link width share
+    /// partition streams (and therefore partition artifacts).
+    std::uint64_t synth_seed = 0;
     bool cache_hit = false;   ///< result reused rather than recomputed
     int pareto_survivors = 0; ///< this point's designs on the global front
 
@@ -105,6 +123,12 @@ struct ExploreStats {
     double elapsed_ms = 0.0;   ///< wall-clock for the whole run
     EvalBackend backend = EvalBackend::Analytic;
     int simulated_designs = 0; ///< simulator runs (Simulated backend only)
+    /// Per-stage cache accounting of the shared pipeline session for this
+    /// run (hits are artifacts reused across points; all zero when
+    /// reuse_stages is off or every point came from the point cache).
+    /// Counts are exact for serial runs, a close lower bound on reuse
+    /// under concurrency (see pipeline/session.h).
+    pipeline::SessionStats stage;
 };
 
 struct ExploreResult {
@@ -148,6 +172,10 @@ class Explorer {
     /// Entries in the cross-run evaluation cache.
     std::size_t cache_size() const;
 
+    /// The shared staged-pipeline session (cumulative stats, artifact
+    /// counts) driving every synthesis when reuse_stages is on.
+    const pipeline::SynthesisSession& session() const { return session_; }
+
   private:
     DesignSpec spec_;
     SynthesisConfig base_cfg_;
@@ -155,6 +183,7 @@ class Explorer {
 
     mutable std::mutex cache_mu_;
     mutable std::unordered_map<std::string, SynthesisResult> cache_;
+    mutable pipeline::SynthesisSession session_;
 };
 
 /// Global Pareto front over all valid designs of all points, with the

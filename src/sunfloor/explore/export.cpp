@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 #include <set>
+#include <utility>
 
 #include "sunfloor/util/strings.h"
 
@@ -88,6 +89,22 @@ void write_explore_json(std::ostream& os, const ExploreResult& result,
     os << "    \"backend\": " << json_quote(backend_to_string(st.backend))
        << ",\n";
     os << "    \"simulated_designs\": " << st.simulated_designs << ",\n";
+    os << "    \"stages\": {\n";
+    const std::pair<const char*, const pipeline::StageCounters*> stages[] = {
+        {"partition", &st.stage.partition},
+        {"routing", &st.stage.routing},
+        {"placement", &st.stage.placement},
+        {"position_lp", &st.stage.position_lp},
+        {"evaluation", &st.stage.evaluation},
+    };
+    for (std::size_t i = 0; i < std::size(stages); ++i) {
+        const auto& [name, sc] = stages[i];
+        os << "      " << json_quote(name) << ": {\"hits\": " << sc->hits
+           << ", \"misses\": " << sc->misses
+           << ", \"compute_ms\": " << format("%.3f", sc->compute_ms) << "}"
+           << (i + 1 < std::size(stages) ? "," : "") << "\n";
+    }
+    os << "    },\n";
     os << "    \"elapsed_ms\": " << format("%.3f", st.elapsed_ms) << "\n";
     os << "  },\n";
     os << "  \"points\": [\n";

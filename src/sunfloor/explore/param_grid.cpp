@@ -1,6 +1,5 @@
 #include "sunfloor/explore/param_grid.h"
 
-#include <cstring>
 #include <stdexcept>
 
 #include "sunfloor/util/strings.h"
@@ -22,14 +21,6 @@ SynthesisPhase value_phase(double v) {
     if (v == 1.0) return SynthesisPhase::Phase1;
     if (v == 2.0) return SynthesisPhase::Phase2;
     return SynthesisPhase::Auto;
-}
-
-/// Exact textual form of a double: the hex of its bit pattern.
-std::string double_bits(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    return format("%016llx", static_cast<unsigned long long>(bits));
 }
 
 }  // namespace
@@ -100,6 +91,11 @@ SynthesisConfig GridPoint::apply(const SynthesisConfig& base) const {
 std::string GridPoint::key() const {
     return format("f=%s;tsv=%d;w=%d;ph=%s;th=%s", double_bits(freq_hz).c_str(),
                   max_tsvs, link_width_bits, phase_to_string(phase),
+                  double_bits(theta).c_str());
+}
+
+std::string GridPoint::partition_key() const {
+    return format("ph=%s;th=%s", phase_to_string(phase),
                   double_bits(theta).c_str());
 }
 

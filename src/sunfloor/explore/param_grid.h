@@ -64,6 +64,13 @@ struct GridPoint {
     /// per-point RNG seeding both key off this.
     std::string key() const;
 
+    /// The subset of key() the partition and assignment stages consume:
+    /// phase and theta. Frequency, TSV budget and link width first matter
+    /// from the routing stage on, so points that agree here are seeded
+    /// alike and a shared SynthesisSession reuses their partition
+    /// artifacts (see pipeline/session.h).
+    std::string partition_key() const;
+
     /// Human-readable label, e.g. "f=400MHz tsv=25 w=32 phase=auto".
     std::string label() const;
 };

@@ -26,6 +26,12 @@ void write_synthesis_report(std::ostream& os, const SynthesisResult& result) {
     os << format("synthesis: %s, %d points, %d valid\n",
                  result.phase_used.c_str(),
                  static_cast<int>(result.points.size()), result.num_valid());
+    const StageTiming& t = result.timing;
+    os << format(
+        "stage time: partition %.1f ms, routing %.1f ms, placement %.1f ms, "
+        "evaluation %.1f ms (total %.1f ms)\n",
+        t.partition_ms, t.routing_ms, t.placement_ms, t.evaluation_ms,
+        t.total_ms());
     design_points_table(result.points).write_pretty(os);
     const int bp = result.best_power_index();
     if (bp >= 0) {

@@ -1,0 +1,111 @@
+// Immutable artifacts of the staged synthesis pipeline.
+//
+// The Fig. 3 flow decomposes into explicit stages:
+//
+//   core partitioning -> switch-layer assignment -> path computation
+//     -> position LP + floorplan -> evaluation
+//
+// Each stage's output is one of the value types below, cached by a
+// SynthesisSession under a key string that serializes *exactly* the
+// (spec, cfg, RNG) inputs the stage consumed (see the stage key builders
+// in session.h). Two stage calls with equal keys produce bit-identical
+// artifacts, which is what lets the session reuse them across
+// architectural points that agree on the consumed fields — e.g. partition
+// artifacts across points that differ only in frequency or link width.
+//
+// The one stochastic stage (partitioning; the flow's floorplan legalizer
+// is the deterministic custom inserter) threads the RNG explicitly: it
+// takes the generator state as an input (part of the key) and records the
+// state it left behind in `rng_after`, so replaying a cached artifact
+// advances the caller's generator exactly as recomputing it would. That
+// makes cache hits unobservable in the results, by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+
+namespace sunfloor::pipeline {
+
+/// Which graph the partition stage cuts (Section V).
+struct PartitionGraphId {
+    enum class Kind {
+        PG,   ///< plain partition graph (Definition 3)
+        SPG,  ///< scaled partition graph for one theta (Definition 4)
+        LPG,  ///< per-layer partition graph (Definition 5)
+    };
+
+    Kind kind = Kind::PG;
+    double theta = 0.0;      ///< SPG only
+    double theta_max = 0.0;  ///< SPG only (Eq. 1's normalization bound)
+    int layer = -1;          ///< LPG only
+
+    static PartitionGraphId pg() { return {}; }
+    static PartitionGraphId spg(double theta, double theta_max) {
+        return {Kind::SPG, theta, theta_max, -1};
+    }
+    static PartitionGraphId lpg(int layer) {
+        return {Kind::LPG, 0.0, 0.0, layer};
+    }
+
+    /// Stable textual identity (doubles rendered from their bit patterns).
+    std::string key() const;
+};
+
+/// Output of the core-partitioning stage: one balanced k-way min-cut of
+/// one partition graph.
+struct PartitionArtifact {
+    std::vector<int> block;  ///< block[vertex] in [0, k)
+    double cut_weight = 0.0;
+    int k = 0;
+    RngState rng_after;  ///< generator state after the multi-start cut
+};
+
+/// Output of the switch-layer assignment stage: a full core-to-switch and
+/// switch-to-layer mapping (phase 1: Step 7 of Algorithm 1 over one
+/// partition; phase 2: the per-layer composition of Algorithm 2).
+struct AssignmentArtifact {
+    CoreAssignment assign;
+    RngState rng_after;  ///< after every partition feeding this assignment
+    /// Content key over the assignment vectors (assignment_key), computed
+    /// once here and consumed by the routing stage's cache key.
+    std::string key;
+};
+
+/// Output of the path-computation stage: the initial topology of an
+/// assignment with every flow routed (Algorithm 3), or — when a pruning
+/// rule or the path computation rejected it — the topology as far as
+/// routing got, plus the failure.
+struct RoutingArtifact {
+    explicit RoutingArtifact(Topology t) : topo(std::move(t)) {}
+
+    Topology topo;
+    bool ok = false;
+    std::string fail_reason;  ///< set when !ok
+};
+
+/// Output of the position stage: switch coordinates from the LP (Eq. 2-5)
+/// written into the topology and, when the config runs the floorplan, the
+/// legalized positions and per-layer die areas. The stage is a pure
+/// function of the routed topology and the placement config — the flow's
+/// legalizer (the custom inserter) is deterministic, which the session
+/// enforces at run time (see SynthesisSession::place).
+struct PlacementArtifact {
+    explicit PlacementArtifact(Topology t) : topo(std::move(t)) {}
+
+    Topology topo;
+    std::vector<double> layer_die_area_mm2;  ///< empty without floorplan
+};
+
+/// Output of the evaluation stage: a fully evaluated design point. The
+/// sweep labels (phase, theta, switch_count) are the caller's business —
+/// the cached copy keeps whatever the first computation wrote, and the
+/// drivers re-stamp them after a cache hit.
+struct EvaluatedDesign {
+    explicit EvaluatedDesign(DesignPoint p) : point(std::move(p)) {}
+
+    DesignPoint point;
+};
+
+}  // namespace sunfloor::pipeline

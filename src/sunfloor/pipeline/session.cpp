@@ -1,0 +1,736 @@
+#include "sunfloor/pipeline/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+#include "sunfloor/core/partition_graphs.h"
+#include "sunfloor/core/path_compute.h"
+#include "sunfloor/core/switch_placement.h"
+#include "sunfloor/noc/deadlock.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor::pipeline {
+
+namespace {
+
+std::string int_list_key(const std::vector<int>& v) {
+    std::string out;
+    out.reserve(v.size() * 3);
+    for (int x : v) {
+        if (!out.empty()) out += ',';
+        out += std::to_string(x);
+    }
+    return out;
+}
+
+/// The full cfg.eval model — frequency plus every NoC-library, wire and
+/// TSV parameter. One shared tail for the routing and evaluation keys so
+/// the two cannot drift apart when a model parameter is added.
+std::string eval_params_key(const EvalParams& p) {
+    const NocTechParams& lp = p.lib.params();
+    const WireParams& wp = p.wire.params();
+    const TsvParams& tp = p.tsv.params();
+    std::string key =
+        format("f=%s;w=%d", double_bits(p.freq_hz).c_str(),
+               lp.flit_width_bits);
+    for (double v :
+         {lp.switch_t0_ns, lp.switch_t1_ns_per_port, lp.switch_e0_pj,
+          lp.switch_e1_pj_per_port, lp.switch_idle_c0_mw,
+          lp.switch_idle_c1_mw_per_port, lp.switch_area_a0_mm2,
+          lp.switch_area_a1_mm2, lp.switch_area_a2_mm2, lp.ni_area_mm2,
+          lp.ni_energy_pj, lp.ni_idle_mw_per_ghz, wp.delay_ns_per_mm,
+          wp.energy_pj_per_flit_mm, wp.idle_mw_per_mm_ghz,
+          wp.max_unrepeated_mm, tp.delay_ps, tp.energy_pj_per_flit_layer,
+          tp.tsv_pitch_um, tp.tsv_diameter_um}) {
+        key += ';';
+        key += double_bits(v);
+    }
+    key += format(";ow=%d;rd=%d", tp.overhead_wires_per_link,
+                  tp.redundant_tsvs_per_link);
+    return key;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// Accumulate into a per-run StageTiming field around a stage call.
+class ScopedStageTime {
+  public:
+    explicit ScopedStageTime(StageTiming* timing, double StageTiming::*field)
+        : timing_(timing), field_(field),
+          t0_(std::chrono::steady_clock::now()) {}
+    ~ScopedStageTime() {
+        if (timing_) timing_->*field_ += ms_since(t0_);
+    }
+    ScopedStageTime(const ScopedStageTime&) = delete;
+    ScopedStageTime& operator=(const ScopedStageTime&) = delete;
+
+  private:
+    StageTiming* timing_;
+    double StageTiming::*field_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+std::string PartitionGraphId::key() const {
+    switch (kind) {
+        case Kind::PG: return "pg";
+        case Kind::SPG:
+            return format("spg;th=%s;tm=%s", double_bits(theta).c_str(),
+                          double_bits(theta_max).c_str());
+        case Kind::LPG: return format("lpg;ly=%d", layer);
+    }
+    return "pg";
+}
+
+std::string partition_cfg_key(const SynthesisConfig& cfg,
+                              const PartitionOptions& opts) {
+    return format("a=%s;ns=%d;rf=%d;mb=%d;mp=%d", double_bits(cfg.alpha).c_str(),
+                  opts.num_starts, opts.refine ? 1 : 0, opts.max_block_size,
+                  opts.max_passes);
+}
+
+std::string routing_cfg_key(const SynthesisConfig& cfg) {
+    // The full model (link capacity, marginal-power costs, pruning rules)
+    // plus the path-computation knobs.
+    return eval_params_key(cfg.eval) +
+           format(";ill=%d;ml=%d;sm=%d,%d;sf=%s;st=%d;lw=%s;lu=%s",
+                  cfg.max_ill, cfg.allow_multilayer_links ? 1 : 0,
+                  cfg.soft_ill_margin, cfg.soft_switch_margin,
+                  double_bits(cfg.soft_inf_factor).c_str(),
+                  cfg.use_soft_thresholds ? 1 : 0,
+                  double_bits(cfg.latency_weight).c_str(),
+                  double_bits(cfg.link_capacity_utilization).c_str());
+}
+
+std::string placement_cfg_key(const SynthesisConfig& cfg) {
+    if (!cfg.run_floorplan) return "fp=0";
+    const NocTechParams& lp = cfg.eval.lib.params();
+    const TsvParams& tp = cfg.eval.tsv.params();
+    // The legalizer sizes switches from the area model and TSV macros from
+    // the TSV model at the library's flit width.
+    return format("fp=1;w=%d;sa=%s,%s,%s;tv=%s,%s,%d,%d",
+                  lp.flit_width_bits, double_bits(lp.switch_area_a0_mm2).c_str(),
+                  double_bits(lp.switch_area_a1_mm2).c_str(),
+                  double_bits(lp.switch_area_a2_mm2).c_str(),
+                  double_bits(tp.tsv_pitch_um).c_str(),
+                  double_bits(tp.tsv_diameter_um).c_str(),
+                  tp.overhead_wires_per_link, tp.redundant_tsvs_per_link);
+}
+
+std::string eval_cfg_key(const SynthesisConfig& cfg) {
+    return eval_params_key(cfg.eval) + format(";ill=%d", cfg.max_ill);
+}
+
+std::string assignment_key(const CoreAssignment& assign) {
+    return "cs=" + int_list_key(assign.core_switch) +
+           ";sl=" + int_list_key(assign.switch_layer);
+}
+
+std::string topology_fingerprint(const Topology& topo) {
+    std::string s;
+    s.reserve(static_cast<std::size_t>(64 * topo.num_cores() +
+                                       64 * topo.num_links() +
+                                       8 * topo.num_flows()));
+    auto add_point = [&](const Point& p) {
+        s += double_bits(p.x);
+        s += ',';
+        s += double_bits(p.y);
+    };
+    s += "co:";
+    for (int c = 0; c < topo.num_cores(); ++c) {
+        const NodeRef n = NodeRef::core(c);
+        s += std::to_string(topo.node_layer(n));
+        s += '@';
+        add_point(topo.node_position(n));
+        s += ';';
+    }
+    s += "sw:";
+    for (int i = 0; i < topo.num_switches(); ++i) {
+        const NocSwitch& sw = topo.switch_at(i);
+        s += sw.name;
+        s += '/';
+        s += std::to_string(sw.layer);
+        s += '@';
+        add_point(sw.position);
+        s += ';';
+    }
+    s += "lk:";
+    for (int l = 0; l < topo.num_links(); ++l) {
+        const NocLink& lk = topo.link(l);
+        s += format("%c%d>%c%d/%d=%s;", lk.src.is_core() ? 'c' : 's',
+                    lk.src.index, lk.dst.is_core() ? 'c' : 's', lk.dst.index,
+                    static_cast<int>(lk.cls), double_bits(lk.bw_mbps).c_str());
+    }
+    s += "fl:";
+    for (int f = 0; f < topo.num_flows(); ++f) {
+        s += int_list_key(topo.flow_path(f));
+        s += ';';
+    }
+    return s;
+}
+
+std::string placement_problem_key(const PlacementProblem& p) {
+    std::string s = format("n=%d;b=%s,%s,%s,%s;fp:", p.num_movable,
+                           double_bits(p.bounds.x).c_str(), double_bits(p.bounds.y).c_str(),
+                           double_bits(p.bounds.w).c_str(),
+                           double_bits(p.bounds.h).c_str());
+    for (const Point& pt : p.fixed_points) {
+        s += double_bits(pt.x);
+        s += ',';
+        s += double_bits(pt.y);
+        s += ';';
+    }
+    s += "fc:";
+    for (const auto& c : p.fixed_conns)
+        s += format("%d>%d=%s;", c.movable, c.fixed, double_bits(c.weight).c_str());
+    s += "mc:";
+    for (const auto& c : p.movable_conns)
+        s += format("%d-%d=%s;", c.a, c.b, double_bits(c.weight).c_str());
+    return s;
+}
+
+RoutingArtifact route_assignment(const DesignSpec& spec,
+                                 const SynthesisConfig& cfg,
+                                 const CoreAssignment& assign) {
+    RoutingArtifact ra(build_initial_topology(spec, assign));
+    const int layers = spec.cores.num_layers();
+
+    // Pruning rule 3 (Section V-C): reject before path computation when the
+    // core-to-switch links alone blow the inter-layer budget.
+    if (ra.topo.max_ill_used(layers) > cfg.max_ill) {
+        ra.fail_reason =
+            format("core links need %d inter-layer links > max_ill %d",
+                   ra.topo.max_ill_used(layers), cfg.max_ill);
+        return ra;
+    }
+    // Pruning rule 1: cores attached to one switch may not already exceed
+    // the size usable at this frequency (ports are one per incident link).
+    const int max_sw = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
+    for (int s = 0; s < ra.topo.num_switches(); ++s) {
+        if (ra.topo.switch_in_degree(s) > max_sw ||
+            ra.topo.switch_out_degree(s) > max_sw) {
+            ra.fail_reason = format("switch %d exceeds max size %d at %.0f MHz",
+                                    s, max_sw, cfg.eval.freq_hz / 1e6);
+            return ra;
+        }
+    }
+
+    const PathComputeResult paths = compute_paths(ra.topo, spec, cfg);
+    if (!paths.ok) {
+        ra.fail_reason =
+            format("path computation failed (%zu flows, %zu capacity)",
+                   paths.failed_flows.size(), paths.capacity_violations.size());
+        return ra;
+    }
+    ra.ok = true;
+    return ra;
+}
+
+PlacementArtifact place_design(const RoutingArtifact& routed,
+                               const DesignSpec& spec,
+                               const SynthesisConfig& cfg, Rng& rng) {
+    PlacementArtifact pa(routed.topo);
+    place_switches_lp(pa.topo, spec);
+    if (cfg.run_floorplan) {
+        const FloorplanOutcome fp =
+            legalize_floorplan(pa.topo, spec, cfg, /*use_standard=*/false,
+                               rng);
+        pa.layer_die_area_mm2 = fp.layer_area_mm2;
+    }
+    return pa;
+}
+
+DesignPoint evaluate_design(const PlacementArtifact& placed,
+                            const DesignSpec& spec,
+                            const SynthesisConfig& cfg) {
+    DesignPoint dp(placed.topo);
+    dp.layer_die_area_mm2 = placed.layer_die_area_mm2;
+    dp.report = evaluate_topology(dp.topo, spec, cfg.eval);
+
+    const int layers = spec.cores.num_layers();
+    if (dp.topo.max_ill_used(layers) > cfg.max_ill)
+        dp.fail_reason = "max_ill violated";
+    else if (dp.report.latency_violations > 0)
+        dp.fail_reason =
+            format("%d latency violations", dp.report.latency_violations);
+    else if (!is_routing_deadlock_free(dp.topo))
+        dp.fail_reason = "routing deadlock";
+    else if (!is_message_dependent_deadlock_free(dp.topo, spec.comm))
+        dp.fail_reason = "message-dependent deadlock";
+    else if (!classes_are_separated(dp.topo, spec.comm))
+        dp.fail_reason = "message classes share a channel";
+    else
+        dp.valid = true;
+    return dp;
+}
+
+DesignPoint failed_design(const RoutingArtifact& routed) {
+    DesignPoint dp(routed.topo);
+    dp.fail_reason = routed.fail_reason;
+    return dp;
+}
+
+AssignmentArtifact phase1_assignment(const PartitionArtifact& part,
+                                     const CoreSpec& cores) {
+    // Step 7 of Algorithm 1: a switch is assigned to the rounded average
+    // of the layers of the cores in its block.
+    AssignmentArtifact aa;
+    aa.assign.core_switch = part.block;
+    aa.assign.switch_layer.assign(static_cast<std::size_t>(part.k), 0);
+    std::vector<double> layer_sum(static_cast<std::size_t>(part.k), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(part.k), 0);
+    for (int c = 0; c < cores.num_cores(); ++c) {
+        const int b = part.block.at(static_cast<std::size_t>(c));
+        layer_sum[static_cast<std::size_t>(b)] += cores.core(c).layer;
+        ++count[static_cast<std::size_t>(b)];
+    }
+    for (int s = 0; s < part.k; ++s)
+        aa.assign.switch_layer[static_cast<std::size_t>(s)] =
+            count[static_cast<std::size_t>(s)] > 0
+                ? static_cast<int>(std::lround(
+                      layer_sum[static_cast<std::size_t>(s)] /
+                      count[static_cast<std::size_t>(s)]))
+                : 0;
+    aa.rng_after = part.rng_after;
+    aa.key = assignment_key(aa.assign);
+    return aa;
+}
+
+SessionStats operator-(const SessionStats& a, const SessionStats& b) {
+    auto sub = [](const StageCounters& x, const StageCounters& y) {
+        StageCounters d;
+        d.hits = x.hits - y.hits;
+        d.misses = x.misses - y.misses;
+        d.compute_ms = x.compute_ms - y.compute_ms;
+        return d;
+    };
+    SessionStats d;
+    d.partition = sub(a.partition, b.partition);
+    d.routing = sub(a.routing, b.routing);
+    d.placement = sub(a.placement, b.placement);
+    d.position_lp = sub(a.position_lp, b.position_lp);
+    d.evaluation = sub(a.evaluation, b.evaluation);
+    return d;
+}
+
+struct SynthesisSession::GraphEntry {
+    Digraph g;         ///< PG or SPG
+    LayerGraph layer;  ///< LPG
+};
+
+SynthesisSession::SynthesisSession(DesignSpec spec, SessionOptions opts)
+    : spec_(std::move(spec)), opts_(opts) {}
+
+std::shared_ptr<const SynthesisSession::GraphEntry>
+SynthesisSession::graph_for(const PartitionGraphId& graph, double alpha) {
+    const std::string key = "g|" + graph.key() + "|a=" + double_bits(alpha);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = graphs_.find(key);
+        if (it != graphs_.end()) return it->second;
+    }
+    auto entry = std::make_shared<GraphEntry>();
+    switch (graph.kind) {
+        case PartitionGraphId::Kind::PG:
+            entry->g = build_partition_graph(spec_.comm,
+                                             spec_.cores.num_cores(), alpha);
+            break;
+        case PartitionGraphId::Kind::SPG: {
+            const auto base = graph_for(PartitionGraphId::pg(), alpha);
+            const int n = spec_.cores.num_cores();
+            std::vector<int> core_layer(static_cast<std::size_t>(n));
+            for (int c = 0; c < n; ++c)
+                core_layer[static_cast<std::size_t>(c)] =
+                    spec_.cores.core(c).layer;
+            entry->g = build_scaled_partition_graph(base->g, core_layer,
+                                                    graph.theta,
+                                                    graph.theta_max);
+            break;
+        }
+        case PartitionGraphId::Kind::LPG:
+            entry->layer = build_layer_partition_graph(
+                spec_.comm, spec_.cores, graph.layer, alpha);
+            break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return graphs_.emplace(key, std::move(entry)).first->second;
+}
+
+std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
+    const PartitionGraphId& graph, int k, const SynthesisConfig& cfg,
+    const PartitionOptions& opts, const RngState& rng_in) {
+    const std::string key =
+        format("pt|%s|%s|k=%d|r=%s", graph.key().c_str(),
+               partition_cfg_key(cfg, opts).c_str(), k, rng_in.key().c_str());
+    if (opts_.cache_partitions) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = partitions_.find(key);
+        if (it != partitions_.end()) {
+            ++stats_.partition.hits;
+            return it->second;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto entry = graph_for(graph, cfg.alpha);
+    const Digraph& g = graph.kind == PartitionGraphId::Kind::LPG
+                           ? entry->layer.g
+                           : entry->g;
+    Rng rng(rng_in);
+    const PartitionResult res = partition_kway(g, k, rng, opts);
+    auto artifact = std::make_shared<PartitionArtifact>();
+    artifact->block = res.block;
+    artifact->cut_weight = res.cut_weight;
+    artifact->k = k;
+    artifact->rng_after = rng.state();
+    const double ms = ms_since(t0);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.partition.misses;
+    stats_.partition.compute_ms += ms;
+    if (!opts_.cache_partitions) return artifact;
+    // Two threads may have raced on the same key; both values are
+    // bit-identical, keep the first inserted.
+    return partitions_.emplace(key, std::move(artifact)).first->second;
+}
+
+std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
+    const AssignmentArtifact& assign, const SynthesisConfig& cfg) {
+    const std::string key = "rt|" + assign.key + "|" + routing_cfg_key(cfg);
+    if (opts_.cache_designs) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = routings_.find(key);
+        if (it != routings_.end()) {
+            ++stats_.routing.hits;
+            return it->second;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto artifact = std::make_shared<RoutingArtifact>(
+        route_assignment(spec_, cfg, assign.assign));
+    const double ms = ms_since(t0);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.routing.misses;
+    stats_.routing.compute_ms += ms;
+    if (!opts_.cache_designs) return artifact;
+    return routings_.emplace(key, std::move(artifact)).first->second;
+}
+
+std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
+    const RoutingArtifact& routed, const SynthesisConfig& cfg) {
+    // Keyed on the routed topology's *content*, not the routing config:
+    // routing configs that produced the same routed topology share the
+    // position LP. No RNG in the key — the whole stage (LP + the custom
+    // inserter) is deterministic, enforced below — so points with
+    // diverged generators still share artifacts.
+    const std::string key = "pl|" + topology_fingerprint(routed.topo) + "|" +
+                            placement_cfg_key(cfg);
+    if (opts_.cache_designs) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = placements_.find(key);
+        if (it != placements_.end()) {
+            ++stats_.placement.hits;
+            return it->second;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Rng rng(Rng::kDefaultSeed);
+    const RngState rng_before = rng.state();
+    auto artifact = std::make_shared<PlacementArtifact>(routed.topo);
+    if (artifact->topo.num_switches() > 0) {
+        // The position solve consumes only the merged connection graph
+        // (build_switch_placement_problem), which routed topologies with
+        // different flow paths can share — so its solutions get their own
+        // content-keyed cache inside the stage.
+        const PlacementProblem problem =
+            build_switch_placement_problem(artifact->topo, spec_);
+        const std::string lp_key = placement_problem_key(problem);
+        std::shared_ptr<const PlacementResult> solution;
+        if (opts_.cache_designs) {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = lp_solutions_.find(lp_key);
+            if (it != lp_solutions_.end()) {
+                ++stats_.position_lp.hits;
+                solution = it->second;
+            }
+        }
+        if (!solution) {
+            const auto lp_t0 = std::chrono::steady_clock::now();
+            bool lp_ok = false;
+            auto computed = std::make_shared<PlacementResult>(
+                solve_switch_placement(problem, lp_ok));
+            const double lp_ms = ms_since(lp_t0);
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.position_lp.misses;
+            stats_.position_lp.compute_ms += lp_ms;
+            solution =
+                opts_.cache_designs
+                    ? lp_solutions_.emplace(lp_key, std::move(computed))
+                          .first->second
+                    : std::move(computed);
+        }
+        for (int s = 0; s < artifact->topo.num_switches(); ++s)
+            artifact->topo.switch_at(s).position =
+                solution->positions[static_cast<std::size_t>(s)];
+    }
+    if (cfg.run_floorplan) {
+        const FloorplanOutcome fp = legalize_floorplan(
+            artifact->topo, spec_, cfg, /*use_standard=*/false, rng);
+        artifact->layer_die_area_mm2 = fp.layer_area_mm2;
+    }
+    // The cache key assumes the stage is pure. The custom inserter is; if
+    // a stochastic legalizer is ever wired in here, the key must gain the
+    // generator state back (and the drivers must thread it).
+    if (!(rng.state() == rng_before))
+        throw std::logic_error(
+            "pipeline placement stage consumed the RNG; its cache key "
+            "must include the generator state");
+    const double ms = ms_since(t0);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.placement.misses;
+    stats_.placement.compute_ms += ms;
+    if (!opts_.cache_designs) return artifact;
+    return placements_.emplace(key, std::move(artifact)).first->second;
+}
+
+std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
+    const PlacementArtifact& placed, const SynthesisConfig& cfg) {
+    // Content-keyed like placement: identical placed topologies share the
+    // evaluation whatever path produced them. The placement config rides
+    // along because the artifact's die-area vector (copied into the
+    // design point) comes from the floorplan side, not the topology
+    // content.
+    const std::string key = "ev|" + topology_fingerprint(placed.topo) + "|" +
+                            placement_cfg_key(cfg) + "|" + eval_cfg_key(cfg);
+    if (opts_.cache_designs) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = evaluations_.find(key);
+        if (it != evaluations_.end()) {
+            ++stats_.evaluation.hits;
+            return it->second;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto artifact = std::make_shared<EvaluatedDesign>(
+        evaluate_design(placed, spec_, cfg));
+    const double ms = ms_since(t0);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.evaluation.misses;
+    stats_.evaluation.compute_ms += ms;
+    if (!opts_.cache_designs) return artifact;
+    return evaluations_.emplace(key, std::move(artifact)).first->second;
+}
+
+DesignPoint SynthesisSession::synthesize(const AssignmentArtifact& assign,
+                                         const SynthesisConfig& cfg,
+                                         const std::string& phase,
+                                         double theta, StageTiming* timing) {
+    std::shared_ptr<const RoutingArtifact> routed;
+    {
+        ScopedStageTime st(timing, &StageTiming::routing_ms);
+        routed = route(assign, cfg);
+    }
+    DesignPoint dp = [&] {
+        if (!routed->ok) return failed_design(*routed);
+        std::shared_ptr<const PlacementArtifact> placed;
+        {
+            ScopedStageTime st(timing, &StageTiming::placement_ms);
+            placed = place(*routed, cfg);
+        }
+        ScopedStageTime st(timing, &StageTiming::evaluation_ms);
+        return evaluate(*placed, cfg)->point;
+    }();
+    dp.phase = phase;
+    dp.theta = theta;
+    dp.switch_count = assign.assign.num_switches();
+    return dp;
+}
+
+std::vector<DesignPoint> SynthesisSession::phase1(const SynthesisConfig& cfg,
+                                                  RngState& rng,
+                                                  StageTiming* timing) {
+    const int n = spec_.cores.num_cores();
+    const int lo = cfg.min_switches > 0 ? cfg.min_switches : 1;
+    const int hi = cfg.max_switches > 0 ? std::min(cfg.max_switches, n) : n;
+
+    auto cut = [&](const PartitionGraphId& graph, int k) {
+        ScopedStageTime st(timing, &StageTiming::partition_ms);
+        auto part = partition(graph, k, cfg, cfg.partition, rng);
+        rng = part->rng_after;
+        return part;
+    };
+
+    std::vector<DesignPoint> points;
+    std::set<int> unmet;
+
+    // Steps 4-10: sweep the switch count over min-cut partitions of PG.
+    for (int i = lo; i <= hi; ++i) {
+        const auto part = cut(PartitionGraphId::pg(), i);
+        const AssignmentArtifact assign =
+            phase1_assignment(*part, spec_.cores);
+        DesignPoint dp = synthesize(assign, cfg, "phase1", 0.0, timing);
+        if (!dp.valid) unmet.insert(i);
+        points.push_back(std::move(dp));
+    }
+
+    // Steps 11-20: theta sweep over the SPG for the unmet switch counts.
+    for (double theta = cfg.theta_min;
+         !unmet.empty() && theta <= cfg.theta_max + 1e-9;
+         theta += cfg.theta_step) {
+        const PartitionGraphId spg =
+            PartitionGraphId::spg(theta, cfg.theta_max);
+        for (auto it = unmet.begin(); it != unmet.end();) {
+            const int i = *it;
+            const auto part = cut(spg, i);
+            const AssignmentArtifact assign =
+                phase1_assignment(*part, spec_.cores);
+            DesignPoint dp =
+                synthesize(assign, cfg, "phase1", theta, timing);
+            if (dp.valid) {
+                // Replace the failed entry for this switch count.
+                for (auto& existing : points)
+                    if (existing.switch_count == i && !existing.valid)
+                        existing = std::move(dp);
+                it = unmet.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<DesignPoint> SynthesisSession::phase2(const SynthesisConfig& cfg,
+                                                  RngState& rng,
+                                                  StageTiming* timing) {
+    SynthesisConfig cfg2 = cfg;
+    cfg2.allow_multilayer_links = false;  // adjacent layers only
+
+    const int layers = std::max(1, spec_.cores.num_layers());
+    const int max_sw_size = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
+
+    // Steps 2-5: minimum switches per layer and the per-layer LPGs. A block
+    // of b cores occupies b input and b output ports, so the largest block
+    // usable at this frequency leaves room for at least two inter-switch
+    // ports.
+    const int max_block = std::max(1, max_sw_size - 2);
+    std::vector<std::shared_ptr<const GraphEntry>> lpg;
+    std::vector<int> ni(static_cast<std::size_t>(layers), 0);
+    int sweep_len = 0;
+    for (int ly = 0; ly < layers; ++ly) {
+        lpg.push_back(graph_for(PartitionGraphId::lpg(ly), cfg.alpha));
+        const int cores_in_layer =
+            static_cast<int>(lpg.back()->layer.core_ids.size());
+        ni[static_cast<std::size_t>(ly)] =
+            cores_in_layer > 0 ? (cores_in_layer + max_block - 1) / max_block
+                               : 0;
+        sweep_len = std::max(
+            sweep_len, cores_in_layer - ni[static_cast<std::size_t>(ly)]);
+    }
+
+    std::vector<DesignPoint> points;
+    // Step 6: increment every layer's switch count together until each
+    // layer has one switch per core.
+    for (int i = 0; i <= sweep_len; ++i) {
+        AssignmentArtifact aa;
+        aa.assign.core_switch.assign(
+            static_cast<std::size_t>(spec_.cores.num_cores()), -1);
+        for (int ly = 0; ly < layers; ++ly) {
+            const auto& lg = lpg[static_cast<std::size_t>(ly)]->layer;
+            const int cores_in_layer = static_cast<int>(lg.core_ids.size());
+            if (cores_in_layer == 0) continue;
+            const int np = std::min(ni[static_cast<std::size_t>(ly)] + i,
+                                    cores_in_layer);
+            PartitionOptions popts = cfg.partition;
+            // "About equal number of cores" per block (Algorithm 2), and
+            // never more than a max-size switch can serve.
+            popts.max_block_size =
+                std::min(max_block, (cores_in_layer + np - 1) / np);
+            std::shared_ptr<const PartitionArtifact> part;
+            {
+                ScopedStageTime st(timing, &StageTiming::partition_ms);
+                part = partition(PartitionGraphId::lpg(ly), np, cfg, popts,
+                                 rng);
+                rng = part->rng_after;
+            }
+            const int base = aa.assign.num_switches();
+            for (int s = 0; s < np; ++s) aa.assign.switch_layer.push_back(ly);
+            for (int v = 0; v < cores_in_layer; ++v)
+                aa.assign.core_switch[static_cast<std::size_t>(
+                    lg.core_ids[static_cast<std::size_t>(v)])] =
+                    base + part->block[static_cast<std::size_t>(v)];
+        }
+        aa.rng_after = rng;
+        aa.key = assignment_key(aa.assign);
+        DesignPoint dp = synthesize(aa, cfg2, "phase2", 0.0, timing);
+        points.push_back(std::move(dp));
+    }
+    return points;
+}
+
+SynthesisResult SynthesisSession::run(const SynthesisConfig& cfg,
+                                      SynthesisPhase phase) {
+    RngState rng = Rng(cfg.seed).state();
+    SynthesisResult result;
+    switch (phase) {
+        case SynthesisPhase::Phase1:
+            result.points = phase1(cfg, rng, &result.timing);
+            result.phase_used = "phase1";
+            break;
+        case SynthesisPhase::Phase2:
+            result.points = phase2(cfg, rng, &result.timing);
+            result.phase_used = "phase2";
+            break;
+        case SynthesisPhase::Auto: {
+            result.points = phase1(cfg, rng, &result.timing);
+            result.phase_used = "phase1";
+            if (result.num_valid() == 0) {
+                // The generator continues where Phase 1 left it, exactly
+                // as the pre-pipeline flow did.
+                result.points = phase2(cfg, rng, &result.timing);
+                result.phase_used = "phase2";
+            }
+            break;
+        }
+    }
+    return result;
+}
+
+SessionStats SynthesisSession::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t SynthesisSession::artifact_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return partitions_.size() + routings_.size() + placements_.size() +
+           lp_solutions_.size() + evaluations_.size();
+}
+
+void SynthesisSession::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    graphs_.clear();
+    partitions_.clear();
+    routings_.clear();
+    placements_.clear();
+    lp_solutions_.clear();
+    evaluations_.clear();
+    stats_ = SessionStats{};
+}
+
+}  // namespace sunfloor::pipeline

@@ -1,0 +1,244 @@
+// Staged synthesis pipeline with cross-point artifact reuse.
+//
+// SynthesisSession owns one DesignSpec and a thread-safe per-stage
+// artifact cache. Running a synthesis through a session is bit-identical
+// to the stateless run_synthesis() for the same (cfg, phase) — cold or
+// warm, serial or from many threads — because every cached artifact is
+// keyed on the complete set of inputs its stage consumed, including the
+// RNG state handed to stochastic stages. Reuse is therefore unobservable
+// in the results; it only shows up in the stage counters and wall clock.
+//
+// What each stage consumes (the contract behind the cache keys):
+//
+//   partition   graph identity (PG / SPG(theta, theta_max) / LPG(layer)),
+//               cfg.alpha, k, the effective PartitionOptions, RNG state in
+//   assignment  a partition + the cores' layer map (pure; phase 2 composes
+//               several per-layer partitions)
+//   routing     the assignment, cfg.eval (frequency + NoC library, wire
+//               and TSV parameters — link width lives in the library's
+//               flit width), cfg.max_ill, cfg.allow_multilayer_links, the
+//               soft-threshold knobs, cfg.latency_weight,
+//               cfg.link_capacity_utilization
+//   placement   the routed topology's full content — not the routing
+//               config, so routing configs that produce the same routed
+//               topology (e.g. neighbouring frequencies) share the
+//               position LP — plus cfg.run_floorplan and, when the
+//               floorplan runs, the switch/TSV area models. No RNG: the
+//               flow's legalizer (the custom inserter) is deterministic,
+//               and the stage enforces that at run time
+//   evaluation  the placed topology's full content, cfg.eval (frequency +
+//               NoC library, wire and TSV models), cfg.max_ill, and the
+//               placement config (the artifact's per-layer die areas come
+//               from the floorplan side, not the topology content)
+//
+// Frequency and link width first appear in the *routing* stage, so
+// architectural points that differ only there share partition and
+// assignment artifacts — the redundancy the explorer exploits.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/lp/placement_lp.h"
+#include "sunfloor/pipeline/artifacts.h"
+
+namespace sunfloor::pipeline {
+
+// ------------------------------------------------------------ stage keys
+
+/// Partition-stage fields of `cfg`: alpha plus the effective partitioner
+/// options (the graph identity and RNG state are keyed separately).
+std::string partition_cfg_key(const SynthesisConfig& cfg,
+                              const PartitionOptions& opts);
+
+/// Routing-stage fields of `cfg` (see the header comment).
+std::string routing_cfg_key(const SynthesisConfig& cfg);
+
+/// Placement-stage fields of `cfg`: run_floorplan and, when it is on, the
+/// switch-area / TSV-macro model parameters the legalizer reads. The
+/// position LP itself consumes no config at all.
+std::string placement_cfg_key(const SynthesisConfig& cfg);
+
+/// Evaluation-stage fields of `cfg`: the full cfg.eval model (frequency,
+/// NoC library, wire, TSV) plus cfg.max_ill for the validity chain.
+std::string eval_cfg_key(const SynthesisConfig& cfg);
+
+/// Content key of an assignment (the vectors themselves).
+std::string assignment_key(const CoreAssignment& assign);
+
+/// Exact content serialization of a topology — core geometry snapshots,
+/// switches, links and flow paths, with doubles rendered from their bit
+/// patterns. Placement and evaluation artifacts are keyed on this, so two
+/// routing configs that happen to produce the same routed topology (e.g.
+/// neighbouring frequencies) share the position LP and its output.
+std::string topology_fingerprint(const Topology& topo);
+
+/// Exact content serialization of a switch-placement instance — the
+/// position-LP solution cache keys on this.
+std::string placement_problem_key(const PlacementProblem& p);
+
+// ----------------------------------------------------- stage computation
+//
+// The pure stage functions are the single implementation of the flow;
+// synthesize_design_point() and the session both run exactly this code.
+
+/// Path-computation stage: initial topology, pruning rules 1 and 3
+/// (Section V-C), then Algorithm 3.
+RoutingArtifact route_assignment(const DesignSpec& spec,
+                                 const SynthesisConfig& cfg,
+                                 const CoreAssignment& assign);
+
+/// Position stage: switch-position LP, then floorplan legalization when
+/// `cfg.run_floorplan`. `rng` is handed to the legalizer for signature
+/// compatibility; the flow's custom inserter never consumes it.
+PlacementArtifact place_design(const RoutingArtifact& routed,
+                               const DesignSpec& spec,
+                               const SynthesisConfig& cfg, Rng& rng);
+
+/// Evaluation stage: power/latency/area report plus the validity chain
+/// (max_ill, latency constraints, the three deadlock-freedom checks).
+DesignPoint evaluate_design(const PlacementArtifact& placed,
+                            const DesignSpec& spec,
+                            const SynthesisConfig& cfg);
+
+/// The design point of an assignment whose routing stage failed: the
+/// as-far-as-routed topology and the failure, never evaluated.
+DesignPoint failed_design(const RoutingArtifact& routed);
+
+/// Assignment stage, phase 1: a switch per block at the rounded average
+/// layer of its cores (Step 7 of Algorithm 1).
+AssignmentArtifact phase1_assignment(const PartitionArtifact& part,
+                                     const CoreSpec& cores);
+
+// ---------------------------------------------------------------- session
+
+struct SessionOptions {
+    /// Cache partition artifacts (the cross-point win on frequency / link
+    /// width grids).
+    bool cache_partitions = true;
+    /// Cache routing, placement and evaluation artifacts (reused across
+    /// points whose assignments coincide, e.g. neighbouring thetas).
+    bool cache_designs = true;
+};
+
+/// Cache accounting for one stage. Under concurrent runs two threads may
+/// race to compute the same key — both count as misses and the results
+/// are bitwise identical either way, so the counters are exact for serial
+/// runs and a close lower bound on reuse for parallel ones.
+struct StageCounters {
+    long long hits = 0;
+    long long misses = 0;
+    double compute_ms = 0.0;  ///< wall clock spent computing misses
+
+    long long calls() const { return hits + misses; }
+};
+
+struct SessionStats {
+    StageCounters partition;
+    StageCounters routing;
+    StageCounters placement;
+    /// The position-LP solve inside the placement stage, cached separately
+    /// and keyed on the exact Eq. 2-5 instance: routed topologies that
+    /// merge to the same connection graph share the solve even when their
+    /// flow paths (and so their placement artifacts) differ.
+    StageCounters position_lp;
+    StageCounters evaluation;
+};
+
+/// Difference of two snapshots (per-run deltas for the explorer stats).
+SessionStats operator-(const SessionStats& a, const SessionStats& b);
+
+class SynthesisSession {
+  public:
+    explicit SynthesisSession(DesignSpec spec, SessionOptions opts = {});
+
+    const DesignSpec& spec() const { return spec_; }
+    const SessionOptions& options() const { return opts_; }
+
+    // Cached stage calls. Artifacts are immutable and shared — callers
+    // must not mutate through the pointers.
+
+    /// Core-partitioning stage: k-way min-cut of `graph` starting from
+    /// `rng_in`. `opts` is the *effective* partitioner configuration
+    /// (phase 2 overrides the block-size bound per call).
+    std::shared_ptr<const PartitionArtifact> partition(
+        const PartitionGraphId& graph, int k, const SynthesisConfig& cfg,
+        const PartitionOptions& opts, const RngState& rng_in);
+
+    /// Path-computation stage for one assignment.
+    std::shared_ptr<const RoutingArtifact> route(
+        const AssignmentArtifact& assign, const SynthesisConfig& cfg);
+
+    /// Position stage (LP + optional floorplan legalization) for a routed
+    /// design. Pure: throws std::logic_error if a (future) legalizer
+    /// consumes the generator, since the cache key assumes it cannot.
+    std::shared_ptr<const PlacementArtifact> place(
+        const RoutingArtifact& routed, const SynthesisConfig& cfg);
+
+    /// Evaluation stage for a placed design.
+    std::shared_ptr<const EvaluatedDesign> evaluate(
+        const PlacementArtifact& placed, const SynthesisConfig& cfg);
+
+    /// The composed routing -> placement -> evaluation flow of one
+    /// assignment — synthesize_design_point() through the caches (none of
+    /// these stages consumes the generator). Stamps the sweep labels and
+    /// accumulates into `timing` when given.
+    DesignPoint synthesize(const AssignmentArtifact& assign,
+                           const SynthesisConfig& cfg,
+                           const std::string& phase, double theta,
+                           StageTiming* timing = nullptr);
+
+    /// Algorithm 1 / Algorithm 2 drivers, bit-identical to run_phase1 /
+    /// run_phase2 with an Rng at `rng`'s state.
+    std::vector<DesignPoint> phase1(const SynthesisConfig& cfg,
+                                    RngState& rng,
+                                    StageTiming* timing = nullptr);
+    std::vector<DesignPoint> phase2(const SynthesisConfig& cfg,
+                                    RngState& rng,
+                                    StageTiming* timing = nullptr);
+
+    /// The full flow — bit-identical to run_synthesis(spec(), cfg, phase)
+    /// regardless of what is cached or which threads ran before.
+    SynthesisResult run(const SynthesisConfig& cfg,
+                        SynthesisPhase phase = SynthesisPhase::Auto);
+
+    /// Cumulative cache accounting since construction (or clear()).
+    SessionStats stats() const;
+
+    /// Cached artifacts over all stages (graphs excluded).
+    std::size_t artifact_count() const;
+
+    /// Drop every cached artifact and reset the counters.
+    void clear();
+
+  private:
+    struct GraphEntry;
+
+    /// Build-or-fetch the partition graph named by `graph` for this
+    /// spec + alpha (graph construction is deterministic and cheap; the
+    /// cache just avoids rebuilding per call).
+    std::shared_ptr<const GraphEntry> graph_for(const PartitionGraphId& graph,
+                                                double alpha);
+
+    DesignSpec spec_;
+    SessionOptions opts_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<const GraphEntry>>
+        graphs_;
+    std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
+        partitions_;
+    std::unordered_map<std::string, std::shared_ptr<const RoutingArtifact>>
+        routings_;
+    std::unordered_map<std::string, std::shared_ptr<const PlacementArtifact>>
+        placements_;
+    std::unordered_map<std::string, std::shared_ptr<const PlacementResult>>
+        lp_solutions_;
+    std::unordered_map<std::string, std::shared_ptr<const EvaluatedDesign>>
+        evaluations_;
+    SessionStats stats_;
+};
+
+}  // namespace sunfloor::pipeline

@@ -4,28 +4,30 @@
 #include <stdexcept>
 #include <string>
 
+#include "sunfloor/util/enum_names.h"
+
 namespace sunfloor::sim {
 
+namespace {
+
+constexpr EnumName<Traffic> kTrafficNames[] = {
+    {Traffic::Uniform, "uniform"},
+    {Traffic::Bursty, "bursty"},
+    {Traffic::Hotspot, "hotspot"},
+};
+
+}  // namespace
+
 const char* traffic_to_string(Traffic t) {
-    switch (t) {
-        case Traffic::Uniform: return "uniform";
-        case Traffic::Bursty: return "bursty";
-        case Traffic::Hotspot: return "hotspot";
-    }
-    return "uniform";
+    return enum_to_string<Traffic>(kTrafficNames, t, "uniform");
 }
 
 bool traffic_from_string(const std::string& s, Traffic& out) {
-    if (s == "uniform") {
-        out = Traffic::Uniform;
-    } else if (s == "bursty") {
-        out = Traffic::Bursty;
-    } else if (s == "hotspot") {
-        out = Traffic::Hotspot;
-    } else {
-        return false;
-    }
-    return true;
+    return enum_from_string<Traffic>(kTrafficNames, s, out);
+}
+
+std::string traffic_choices() {
+    return enum_choices<Traffic>(kTrafficNames);
 }
 
 namespace {

@@ -40,11 +40,15 @@ enum class Traffic {
 };
 
 /// "uniform", "bursty" or "hotspot" — the single source for CLI parsing
-/// and report labels.
+/// and report labels (one enum_names table behind all three helpers).
 const char* traffic_to_string(Traffic t);
 
-/// Inverse of traffic_to_string; returns false on any other input.
+/// Inverse of traffic_to_string; ASCII case-insensitive, returns false on
+/// any other input.
 bool traffic_from_string(const std::string& s, Traffic& out);
+
+/// "uniform|bursty|hotspot" — for uniform CLI error messages.
+std::string traffic_choices();
 
 struct InjectionParams {
     Traffic traffic = Traffic::Uniform;

@@ -27,6 +27,8 @@
 //   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
 //   --threads <n>             worker threads; 0 = all cores (default 0)
 //   --no-cache                disable the evaluation cache
+//   --no-stage-reuse          recompute every pipeline stage per point
+//                             (disables cross-point artifact reuse)
 //   --backend <analytic|sim>  Pareto ranking backend     (default analytic)
 //   --rate <scale>            sim backend: injection scale (default 1.0)
 //   --traffic <kind>          sim backend: uniform|bursty|hotspot
@@ -73,7 +75,7 @@ int usage(const char* argv0) {
                  "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
                  "[--phase auto|1|2[,...]] [--theta V[,...]] [--alpha A] "
                  "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
-                 "[--backend analytic|sim] [--rate S] "
+                 "[--no-stage-reuse] [--backend analytic|sim] [--rate S] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
                  "[--out prefix]\n"
                  "       %s simulate (--design <file> | --benchmark <name>) "
@@ -109,6 +111,16 @@ bool load_spec(const std::string& design_file, const std::string& benchmark,
     Rng rng(42);
     floorplan_design_layers(spec.cores, spec.comm, fopts, rng);
     return true;
+}
+
+/// Uniform parse-failure report for enum-valued flags (--phase, --backend,
+/// --traffic). All of them parse case-insensitively through one
+/// enum_names table per enum; this prints the matching canonical choices.
+int bad_enum_value(const char* flag, const char* value,
+                   const std::string& choices) {
+    std::fprintf(stderr, "bad %s value '%s' (expected %s)\n", flag,
+                 value ? value : "", choices.c_str());
+    return 2;
 }
 
 /// Parse a "400,600" MHz list into Hz, shared by both subcommands; prints
@@ -192,7 +204,9 @@ int run_explore(int argc, char** argv) {
             std::vector<SynthesisPhase> phases;
             for (const auto& part : split(v, ',')) {
                 SynthesisPhase p;
-                if (!phase_from_string(part, p)) return usage(argv[0]);
+                if (!phase_from_string(part, p))
+                    return bad_enum_value("--phase", part.c_str(),
+                                          phase_choices());
                 phases.push_back(p);
             }
             grid.set_axis(ParamAxis::phases(phases));
@@ -216,10 +230,13 @@ int run_explore(int argc, char** argv) {
             cfg.run_floorplan = false;
         } else if (arg == "--no-cache") {
             opts.use_cache = false;
+        } else if (arg == "--no-stage-reuse") {
+            opts.reuse_stages = false;
         } else if (arg == "--backend") {
             const char* v = next();
-            if (!v || !backend_from_string(v, opts.backend))
-                return usage(argv[0]);
+            if (!v) return usage(argv[0]);
+            if (!backend_from_string(v, opts.backend))
+                return bad_enum_value("--backend", v, backend_choices());
         } else if (arg == "--rate") {
             const char* v = next();
             if (!v || !parse_double(v, opts.sim.inject.injection_scale) ||
@@ -228,8 +245,10 @@ int run_explore(int argc, char** argv) {
             sim_only_flag = "--rate";
         } else if (arg == "--traffic") {
             const char* v = next();
-            if (!v || !sim::traffic_from_string(v, opts.sim.inject.traffic))
-                return usage(argv[0]);
+            if (!v) return usage(argv[0]);
+            if (!sim::traffic_from_string(v, opts.sim.inject.traffic))
+                return bad_enum_value("--traffic", v,
+                                      sim::traffic_choices());
             sim_only_flag = "--traffic";
         } else if (arg == "--packet-len") {
             const char* v = next();
@@ -276,6 +295,19 @@ int run_explore(int argc, char** argv) {
         st.cache_hits);
     std::printf("%d/%d valid designs, global Pareto front: %d points\n",
                 st.valid_designs, st.total_designs, st.pareto_size);
+    const auto& sg = st.stage;
+    if (sg.partition.calls() + sg.routing.calls() > 0)
+        std::printf(
+            "stage reuse: partition %lld/%lld hits (%.0f ms computing), "
+            "routing %lld/%lld (%.0f ms), placement %lld/%lld (%.0f ms, "
+            "LP %lld/%lld, %.0f ms), evaluation %lld/%lld (%.0f ms)\n",
+            sg.partition.hits, sg.partition.calls(),
+            sg.partition.compute_ms, sg.routing.hits, sg.routing.calls(),
+            sg.routing.compute_ms, sg.placement.hits, sg.placement.calls(),
+            sg.placement.compute_ms, sg.position_lp.hits,
+            sg.position_lp.calls(), sg.position_lp.compute_ms,
+            sg.evaluation.hits, sg.evaluation.calls(),
+            sg.evaluation.compute_ms);
     const bool simulated = st.backend == EvalBackend::Simulated;
     if (simulated)
         std::printf("simulated %d designs (%s traffic, rate %.2f, "
@@ -378,7 +410,9 @@ int run_simulate(int argc, char** argv) {
             if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
         } else if (arg == "--phase") {
             const char* v = next();
-            if (!v || !phase_from_string(v, phase)) return usage(argv[0]);
+            if (!v) return usage(argv[0]);
+            if (!phase_from_string(v, phase))
+                return bad_enum_value("--phase", v, phase_choices());
         } else if (arg == "--seed") {
             const char* v = next();
             int seed = 0;
@@ -394,8 +428,10 @@ int run_simulate(int argc, char** argv) {
                 if (r < 0.0) return usage(argv[0]);
         } else if (arg == "--traffic") {
             const char* v = next();
-            if (!v || !sim::traffic_from_string(v, sp.inject.traffic))
-                return usage(argv[0]);
+            if (!v) return usage(argv[0]);
+            if (!sim::traffic_from_string(v, sp.inject.traffic))
+                return bad_enum_value("--traffic", v,
+                                      sim::traffic_choices());
         } else if (arg == "--packet-len") {
             const char* v = next();
             if (!v || !parse_int(v, sp.inject.packet_length_flits) ||
@@ -508,7 +544,9 @@ int run_synthesize(int argc, char** argv) {
             if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
         } else if (arg == "--phase") {
             const char* v = next();
-            if (!v || !phase_from_string(v, phase)) return usage(argv[0]);
+            if (!v) return usage(argv[0]);
+            if (!phase_from_string(v, phase))
+                return bad_enum_value("--phase", v, phase_choices());
         } else if (arg == "--seed") {
             const char* v = next();
             int seed = 0;

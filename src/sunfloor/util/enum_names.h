@@ -1,0 +1,67 @@
+// One tiny codec for every enum<->string round-trip in the tool.
+//
+// Each enum that crosses a text boundary (CLI flags, cache keys, CSV/JSON
+// exports) declares a single name table; to_string / from_string / choices
+// all read that table, so the spellings cannot drift apart between the
+// parser, the exporter and the usage text. Parsing is ASCII
+// case-insensitive; serialization always emits the canonical (first-listed)
+// name of a value.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor {
+
+/// One name<->value pair. The first entry carrying a value is its
+/// canonical spelling; later entries with the same value are parse-only
+/// aliases (e.g. "sim" canonical, "simulated" alias).
+template <typename E>
+struct EnumName {
+    E value;
+    const char* name;
+};
+
+/// Canonical name of `v`, or `fallback` when the table does not list it.
+template <typename E>
+const char* enum_to_string(std::span<const EnumName<E>> table, E v,
+                           const char* fallback) {
+    for (const auto& e : table)
+        if (e.value == v) return e.name;
+    return fallback;
+}
+
+/// Case-insensitive parse over canonical names and aliases; returns false
+/// (leaving `out` untouched) on any unknown spelling.
+template <typename E>
+bool enum_from_string(std::span<const EnumName<E>> table, std::string_view s,
+                      E& out) {
+    for (const auto& e : table) {
+        if (iequals(s, e.name)) {
+            out = e.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// "a|b|c" over the canonical names only — the uniform `(expected ...)`
+/// clause of CLI error messages.
+template <typename E>
+std::string enum_choices(std::span<const EnumName<E>> table) {
+    std::string out;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        bool alias = false;
+        for (std::size_t j = 0; j < i; ++j)
+            alias = alias || table[j].value == table[i].value;
+        if (alias) continue;
+        if (!out.empty()) out += '|';
+        out += table[i].name;
+    }
+    return out;
+}
+
+}  // namespace sunfloor

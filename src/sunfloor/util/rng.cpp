@@ -1,5 +1,7 @@
 #include "sunfloor/util/rng.h"
 
+#include <cstdio>
+
 namespace sunfloor {
 namespace {
 
@@ -14,6 +16,28 @@ std::uint64_t splitmix64(std::uint64_t x) {
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
+}
+
+std::string RngState::key() const {
+    char buf[4 * 16 + 1];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx%016llx%016llx",
+                  static_cast<unsigned long long>(s[0]),
+                  static_cast<unsigned long long>(s[1]),
+                  static_cast<unsigned long long>(s[2]),
+                  static_cast<unsigned long long>(s[3]));
+    return buf;
+}
+
+Rng::Rng(const RngState& state) { set_state(state); }
+
+RngState Rng::state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    return st;
+}
+
+void Rng::set_state(const RngState& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
 }
 
 Rng::Rng(std::uint64_t seed) {

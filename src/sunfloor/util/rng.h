@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace sunfloor {
@@ -15,6 +16,19 @@ namespace sunfloor {
 /// (repeat with x + 0x9e3779b97f4a7c15 to walk the sequence).
 std::uint64_t splitmix64(std::uint64_t x);
 
+/// Snapshot of an Rng's full state. Value type: two generators with equal
+/// states produce identical streams forever, which is what lets the
+/// pipeline cache key stochastic stages on "the RNG as it was handed to
+/// the stage" and replay cached results bit-for-bit.
+struct RngState {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+
+    friend bool operator==(const RngState&, const RngState&) = default;
+
+    /// Stable 32-hex-digit rendering for cache keys.
+    std::string key() const;
+};
+
 /// xoshiro256** generator. Small, fast, and with a well-understood state
 /// space; we avoid std::mt19937 so that results are identical across
 /// standard-library implementations.
@@ -22,8 +36,17 @@ class Rng {
   public:
     explicit Rng(std::uint64_t seed = kDefaultSeed);
 
+    /// Resume a generator exactly where a previous one left off.
+    explicit Rng(const RngState& state);
+
     /// Default seed used across the tool when the caller does not care.
     static constexpr std::uint64_t kDefaultSeed = 0x5f3d5f3d2009ULL;
+
+    /// Snapshot the full generator state.
+    RngState state() const;
+
+    /// Restore a snapshot taken with state().
+    void set_state(const RngState& state);
 
     /// Uniform 64-bit value.
     std::uint64_t next_u64();

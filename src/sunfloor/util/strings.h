@@ -20,6 +20,15 @@ std::vector<std::string> split_ws(std::string_view s);
 /// True when `s` begins with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// ASCII case-insensitive equality (the enum codecs parse "AUTO" and
+/// "auto" alike; no locale involved).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Exact textual form of a double: the hex of its bit pattern. Grid and
+/// pipeline cache keys use this so values differing in the last ulp stay
+/// distinct.
+std::string double_bits(double v);
+
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,0 +1,96 @@
+// The unified enum<->string codec and the three tables built on it
+// (synthesis phase, evaluation backend, sim traffic pattern): canonical
+// round-trips, case-insensitive parsing, aliases and choices strings.
+#include <gtest/gtest.h>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/explore/explorer.h"
+#include "sunfloor/sim/injection.h"
+#include "sunfloor/util/enum_names.h"
+
+namespace sunfloor {
+namespace {
+
+enum class Fruit { Apple, Pear };
+
+constexpr EnumName<Fruit> kFruits[] = {
+    {Fruit::Apple, "apple"},
+    {Fruit::Pear, "pear"},
+    {Fruit::Pear, "quince"},  // parse-only alias
+};
+
+TEST(EnumNames, ToStringUsesCanonicalName) {
+    EXPECT_STREQ(enum_to_string<Fruit>(kFruits, Fruit::Apple, "?"), "apple");
+    EXPECT_STREQ(enum_to_string<Fruit>(kFruits, Fruit::Pear, "?"), "pear");
+    EXPECT_STREQ(enum_to_string<Fruit>(kFruits, static_cast<Fruit>(99), "?"),
+                 "?");
+}
+
+TEST(EnumNames, FromStringIsCaseInsensitiveAndKnowsAliases) {
+    Fruit f = Fruit::Apple;
+    EXPECT_TRUE(enum_from_string<Fruit>(kFruits, "PEAR", f));
+    EXPECT_EQ(f, Fruit::Pear);
+    EXPECT_TRUE(enum_from_string<Fruit>(kFruits, "Quince", f));
+    EXPECT_EQ(f, Fruit::Pear);
+    f = Fruit::Apple;
+    EXPECT_FALSE(enum_from_string<Fruit>(kFruits, "mango", f));
+    EXPECT_EQ(f, Fruit::Apple);  // untouched on failure
+    EXPECT_FALSE(enum_from_string<Fruit>(kFruits, "", f));
+    EXPECT_FALSE(enum_from_string<Fruit>(kFruits, "pearl", f));
+}
+
+TEST(EnumNames, ChoicesListsCanonicalNamesOnly) {
+    EXPECT_EQ(enum_choices<Fruit>(kFruits), "apple|pear");
+}
+
+TEST(EnumNames, Iequals) {
+    EXPECT_TRUE(iequals("Sim", "sim"));
+    EXPECT_TRUE(iequals("", ""));
+    EXPECT_FALSE(iequals("sim", "simu"));
+    EXPECT_FALSE(iequals("sim", "sIn"));
+}
+
+TEST(EnumNames, PhaseTable) {
+    SynthesisPhase p = SynthesisPhase::Phase2;
+    EXPECT_TRUE(phase_from_string("AUTO", p));
+    EXPECT_EQ(p, SynthesisPhase::Auto);
+    EXPECT_TRUE(phase_from_string("1", p));
+    EXPECT_EQ(p, SynthesisPhase::Phase1);
+    EXPECT_FALSE(phase_from_string("phase1", p));
+    EXPECT_STREQ(phase_to_string(SynthesisPhase::Phase2), "2");
+    EXPECT_EQ(phase_choices(), "auto|1|2");
+    // Round-trip every value.
+    for (SynthesisPhase v : {SynthesisPhase::Auto, SynthesisPhase::Phase1,
+                             SynthesisPhase::Phase2}) {
+        SynthesisPhase back = SynthesisPhase::Auto;
+        EXPECT_TRUE(phase_from_string(phase_to_string(v), back));
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(EnumNames, BackendTable) {
+    EvalBackend b = EvalBackend::Analytic;
+    EXPECT_TRUE(backend_from_string("SIM", b));
+    EXPECT_EQ(b, EvalBackend::Simulated);
+    EXPECT_TRUE(backend_from_string("Simulated", b));  // legacy alias
+    EXPECT_EQ(b, EvalBackend::Simulated);
+    EXPECT_TRUE(backend_from_string("analytic", b));
+    EXPECT_EQ(b, EvalBackend::Analytic);
+    EXPECT_FALSE(backend_from_string("magic", b));
+    EXPECT_STREQ(backend_to_string(EvalBackend::Simulated), "sim");
+    EXPECT_EQ(backend_choices(), "analytic|sim");
+}
+
+TEST(EnumNames, TrafficTable) {
+    sim::Traffic t = sim::Traffic::Uniform;
+    EXPECT_TRUE(sim::traffic_from_string("HotSpot", t));
+    EXPECT_EQ(t, sim::Traffic::Hotspot);
+    EXPECT_TRUE(sim::traffic_from_string("bursty", t));
+    EXPECT_EQ(t, sim::Traffic::Bursty);
+    EXPECT_FALSE(sim::traffic_from_string("random", t));
+    EXPECT_STREQ(sim::traffic_to_string(sim::Traffic::Uniform), "uniform");
+    EXPECT_EQ(sim::traffic_choices(), "uniform|bursty|hotspot");
+}
+
+}  // namespace
+}  // namespace sunfloor

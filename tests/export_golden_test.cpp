@@ -87,6 +87,11 @@ ExploreResult golden_result(bool with_sim) {
     res.stats.backend =
         with_sim ? EvalBackend::Simulated : EvalBackend::Analytic;
     res.stats.simulated_designs = with_sim ? 1 : 0;
+    res.stats.stage.partition = {3, 2, 1.5};
+    res.stats.stage.routing = {0, 5, 20.25};
+    res.stats.stage.placement = {0, 5, 2.0};
+    res.stats.stage.position_lp = {2, 3, 1.75};
+    res.stats.stage.evaluation = {1, 4, 0.5};
     res.stats.elapsed_ms = 12.3456;
     return res;
 }
@@ -135,6 +140,18 @@ TEST(ExportGolden, JsonByteExact) {
         "    \"num_threads\": 1,\n"
         "    \"backend\": \"analytic\",\n"
         "    \"simulated_designs\": 0,\n"
+        "    \"stages\": {\n"
+        "      \"partition\": {\"hits\": 3, \"misses\": 2,"
+        " \"compute_ms\": 1.500},\n"
+        "      \"routing\": {\"hits\": 0, \"misses\": 5,"
+        " \"compute_ms\": 20.250},\n"
+        "      \"placement\": {\"hits\": 0, \"misses\": 5,"
+        " \"compute_ms\": 2.000},\n"
+        "      \"position_lp\": {\"hits\": 2, \"misses\": 3,"
+        " \"compute_ms\": 1.750},\n"
+        "      \"evaluation\": {\"hits\": 1, \"misses\": 4,"
+        " \"compute_ms\": 0.500}\n"
+        "    },\n"
         "    \"elapsed_ms\": 12.346\n"
         "  },\n"
         "  \"points\": [\n"

@@ -1,0 +1,281 @@
+// Staged synthesis pipeline: RNG state threading, per-stage artifact
+// caching and the bit-transparency of a SynthesisSession relative to the
+// stateless entry points.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sunfloor/core/synthesizer.h"
+#include "sunfloor/pipeline/session.h"
+#include "sunfloor/spec/benchmarks.h"
+
+namespace sunfloor {
+namespace {
+
+SynthesisConfig fast_cfg() {
+    SynthesisConfig cfg;
+    cfg.partition.num_starts = 4;
+    cfg.run_floorplan = false;
+    cfg.max_switches = 6;
+    return cfg;
+}
+
+bool bitwise_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_same_points(const std::vector<DesignPoint>& a,
+                        const std::vector<DesignPoint>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].phase, b[i].phase);
+        EXPECT_EQ(a[i].switch_count, b[i].switch_count);
+        EXPECT_TRUE(bitwise_equal(a[i].theta, b[i].theta));
+        EXPECT_EQ(a[i].valid, b[i].valid);
+        EXPECT_EQ(a[i].fail_reason, b[i].fail_reason);
+        EXPECT_EQ(a[i].topo.num_links(), b[i].topo.num_links());
+        EXPECT_TRUE(bitwise_equal(a[i].report.power.total_mw(),
+                                  b[i].report.power.total_mw()));
+        EXPECT_TRUE(bitwise_equal(a[i].report.avg_latency_cycles,
+                                  b[i].report.avg_latency_cycles));
+        EXPECT_TRUE(bitwise_equal(a[i].report.noc_area_mm2(),
+                                  b[i].report.noc_area_mm2()));
+        ASSERT_EQ(a[i].layer_die_area_mm2.size(),
+                  b[i].layer_die_area_mm2.size());
+        for (std::size_t l = 0; l < a[i].layer_die_area_mm2.size(); ++l)
+            EXPECT_TRUE(bitwise_equal(a[i].layer_die_area_mm2[l],
+                                      b[i].layer_die_area_mm2[l]));
+    }
+}
+
+void expect_same_results(const SynthesisResult& a, const SynthesisResult& b) {
+    EXPECT_EQ(a.phase_used, b.phase_used);
+    expect_same_points(a.points, b.points);
+}
+
+TEST(RngState, SnapshotResumesTheExactStream) {
+    Rng a(7);
+    for (int i = 0; i < 5; ++i) a.next_u64();
+    const RngState st = a.state();
+    Rng b(st);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_EQ(a.state(), b.state());
+    EXPECT_EQ(st.key().size(), 64u);
+    EXPECT_NE(st.key(), a.state().key());
+}
+
+TEST(Pipeline, ColdSessionMatchesRunPhase1IncludingRngThreading) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    SynthesisConfig cfg = fast_cfg();
+    cfg.max_ill = 12;  // force part of the theta sweep
+
+    Rng ref_rng(cfg.seed);
+    const auto ref = run_phase1(spec, cfg, ref_rng);
+
+    pipeline::SynthesisSession session(spec);
+    RngState state = Rng(cfg.seed).state();
+    const auto got = session.phase1(cfg, state);
+
+    expect_same_points(ref, got);
+    // The session must leave the generator exactly where the stateless
+    // flow left it (Auto chains Phase 2 onto this state).
+    EXPECT_EQ(state, ref_rng.state());
+}
+
+TEST(Pipeline, ColdSessionMatchesRunPhase2IncludingRngThreading) {
+    const DesignSpec spec = make_benchmark("D_35_bot");
+    const SynthesisConfig cfg = fast_cfg();
+
+    Rng ref_rng(cfg.seed);
+    const auto ref = run_phase2(spec, cfg, ref_rng);
+
+    pipeline::SynthesisSession session(spec);
+    RngState state = Rng(cfg.seed).state();
+    const auto got = session.phase2(cfg, state);
+
+    expect_same_points(ref, got);
+    EXPECT_EQ(state, ref_rng.state());
+}
+
+TEST(Pipeline, WarmSessionIsBitIdenticalAndServesFromCache) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    const SynthesisConfig cfg = fast_cfg();
+
+    pipeline::SynthesisSession session(spec);
+    const SynthesisResult first = session.run(cfg);
+    const std::size_t artifacts = session.artifact_count();
+    EXPECT_GT(artifacts, 0u);
+    const auto cold_stats = session.stats();
+    EXPECT_EQ(cold_stats.partition.hits, 0);
+    EXPECT_GT(cold_stats.partition.misses, 0);
+
+    const SynthesisResult second = session.run(cfg);
+    expect_same_results(first, second);
+    // An identical run creates nothing new and recomputes nothing.
+    EXPECT_EQ(session.artifact_count(), artifacts);
+    const auto warm_stats = session.stats();
+    EXPECT_EQ(warm_stats.partition.misses, cold_stats.partition.misses);
+    EXPECT_EQ(warm_stats.routing.misses, cold_stats.routing.misses);
+    EXPECT_EQ(warm_stats.placement.misses, cold_stats.placement.misses);
+    EXPECT_EQ(warm_stats.evaluation.misses, cold_stats.evaluation.misses);
+    EXPECT_GT(warm_stats.partition.hits, 0);
+
+    // ... and both runs equal the stateless entry point.
+    expect_same_results(first, run_synthesis(spec, cfg));
+}
+
+TEST(Pipeline, SessionSharedAcrossFrequenciesMatchesColdRuns) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    pipeline::SynthesisSession session(spec);
+    for (double f : {300e6, 400e6, 500e6}) {
+        SynthesisConfig cfg = fast_cfg();
+        cfg.eval.freq_hz = f;
+        const SynthesisResult warm = session.run(cfg);
+        expect_same_results(warm, run_synthesis(spec, cfg));
+    }
+    // Frequency first matters at the routing stage, so the later
+    // frequencies reused the earlier partitions.
+    EXPECT_GT(session.stats().partition.hits, 0);
+}
+
+TEST(Pipeline, DifferentSeedsSharingASessionStayIndependent) {
+    // Regression test: with the floorplan off the placement stage is pure
+    // and its key excludes the RNG, so a run with seed B can hit placement
+    // artifacts computed under seed A. The hit must never leak A's
+    // generator stream into B's run.
+    const DesignSpec spec = make_d26_media();
+    SynthesisConfig a;  // default partitioner: seeds 2 and 3 share many
+    a.run_floorplan = false;  // routed topologies on this benchmark
+    a.seed = 2;
+    SynthesisConfig b = a;
+    b.seed = 3;
+
+    pipeline::SynthesisSession session(spec);
+    const SynthesisResult ra = session.run(a);  // warms the caches
+    const auto warm = session.stats();
+    const SynthesisResult rb = session.run(b);
+    // The scenario only bites when cross-seed sharing actually happened;
+    // hit counts are deterministic for a fixed spec and seed pair.
+    EXPECT_GT(session.stats().placement.hits - warm.placement.hits, 0);
+    expect_same_results(ra, run_synthesis(spec, a));
+    expect_same_results(rb, run_synthesis(spec, b));
+}
+
+TEST(Pipeline, FloorplanRunsAreDeterministicAndReusableAcrossSeeds) {
+    // The flow's legalizer (the custom inserter) consumes no RNG, so the
+    // placement stage is pure and floorplan-enabled runs with *different*
+    // seeds still share placement artifacts wherever their routed
+    // topologies coincide — while staying bit-identical to the stateless
+    // entry point.
+    const DesignSpec spec = make_d26_media();
+    SynthesisConfig a;
+    a.run_floorplan = true;
+    a.max_switches = 10;
+    a.seed = 2;
+    SynthesisConfig b = a;
+    b.seed = 3;
+
+    pipeline::SynthesisSession session(spec);
+    const SynthesisResult ra = session.run(a, SynthesisPhase::Phase1);
+    const auto warm = session.stats();
+    const SynthesisResult rb = session.run(b, SynthesisPhase::Phase1);
+    EXPECT_GT(session.stats().placement.hits - warm.placement.hits, 0);
+    expect_same_results(ra, run_synthesis(spec, a, SynthesisPhase::Phase1));
+    expect_same_results(rb, run_synthesis(spec, b, SynthesisPhase::Phase1));
+    bool any_area = false;
+    for (const auto& p : ra.points)
+        any_area = any_area || !p.layer_die_area_mm2.empty();
+    EXPECT_TRUE(any_area);
+}
+
+TEST(Pipeline, DisabledCachesStillProduceIdenticalResults) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    const SynthesisConfig cfg = fast_cfg();
+
+    pipeline::SessionOptions off;
+    off.cache_partitions = false;
+    off.cache_designs = false;
+    pipeline::SynthesisSession session(spec, off);
+    const SynthesisResult a = session.run(cfg);
+    const SynthesisResult b = session.run(cfg);
+    expect_same_results(a, b);
+    expect_same_results(a, run_synthesis(spec, cfg));
+    EXPECT_EQ(session.artifact_count(), 0u);
+    EXPECT_EQ(session.stats().partition.hits, 0);
+    EXPECT_GT(session.stats().partition.misses, 0);
+}
+
+TEST(Pipeline, ClearDropsArtifactsAndCounters) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    pipeline::SynthesisSession session(spec);
+    session.run(fast_cfg());
+    EXPECT_GT(session.artifact_count(), 0u);
+    session.clear();
+    EXPECT_EQ(session.artifact_count(), 0u);
+    EXPECT_EQ(session.stats().partition.calls(), 0);
+    const SynthesisResult after = session.run(fast_cfg());
+    expect_same_results(after, run_synthesis(spec, fast_cfg()));
+}
+
+TEST(Pipeline, RunReportsStageTiming) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    pipeline::SynthesisSession session(spec);
+    const SynthesisResult res = session.run(fast_cfg());
+    // Every stage ran at least once on this benchmark, so every stage
+    // accumulated some (possibly sub-millisecond) wall clock.
+    EXPECT_GT(res.timing.total_ms(), 0.0);
+    EXPECT_GE(res.timing.partition_ms, 0.0);
+    EXPECT_GE(res.timing.routing_ms, 0.0);
+    EXPECT_GE(res.timing.placement_ms, 0.0);
+    EXPECT_GE(res.timing.evaluation_ms, 0.0);
+}
+
+TEST(Pipeline, StageKeysSeparateConsumedFields) {
+    SynthesisConfig a = fast_cfg();
+    SynthesisConfig b = a;
+    // Routing consumes the frequency; partitioning does not.
+    b.eval.freq_hz = a.eval.freq_hz * 2;
+    EXPECT_EQ(pipeline::partition_cfg_key(a, a.partition),
+              pipeline::partition_cfg_key(b, b.partition));
+    EXPECT_NE(pipeline::routing_cfg_key(a), pipeline::routing_cfg_key(b));
+    EXPECT_NE(pipeline::eval_cfg_key(a), pipeline::eval_cfg_key(b));
+    // Neither stage consumes the seed.
+    b = a;
+    b.seed = a.seed + 1;
+    EXPECT_EQ(pipeline::partition_cfg_key(a, a.partition),
+              pipeline::partition_cfg_key(b, b.partition));
+    EXPECT_EQ(pipeline::routing_cfg_key(a), pipeline::routing_cfg_key(b));
+    // Partitioning consumes alpha; the soft thresholds are routing-only.
+    b = a;
+    b.alpha = 0.5;
+    EXPECT_NE(pipeline::partition_cfg_key(a, a.partition),
+              pipeline::partition_cfg_key(b, b.partition));
+    b = a;
+    b.soft_ill_margin = a.soft_ill_margin + 1;
+    EXPECT_NE(pipeline::routing_cfg_key(a), pipeline::routing_cfg_key(b));
+    EXPECT_EQ(pipeline::partition_cfg_key(a, a.partition),
+              pipeline::partition_cfg_key(b, b.partition));
+    // The placement key only sees the floorplan side of the config.
+    b = a;
+    b.run_floorplan = !a.run_floorplan;
+    EXPECT_NE(pipeline::placement_cfg_key(a), pipeline::placement_cfg_key(b));
+}
+
+TEST(Pipeline, TopologyFingerprintTracksContent) {
+    const DesignSpec spec = make_benchmark("D_36_4");
+    Topology t(spec.cores, spec.comm.num_flows());
+    const std::string empty = pipeline::topology_fingerprint(t);
+    t.add_switch("sw0", 0, {1.0, 2.0});
+    const std::string one = pipeline::topology_fingerprint(t);
+    EXPECT_NE(empty, one);
+    t.add_link(NodeRef::core(0), NodeRef::sw(0));
+    const std::string linked = pipeline::topology_fingerprint(t);
+    EXPECT_NE(one, linked);
+    Topology u(spec.cores, spec.comm.num_flows());
+    u.add_switch("sw0", 0, {1.0, 2.0});
+    u.add_link(NodeRef::core(0), NodeRef::sw(0));
+    EXPECT_EQ(linked, pipeline::topology_fingerprint(u));
+}
+
+}  // namespace
+}  // namespace sunfloor
