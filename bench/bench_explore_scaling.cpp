@@ -110,6 +110,48 @@ BENCHMARK(BM_explore_freq_width)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// Routing-policy sweep: the same frequency x TSV grid per policy
+// (Arg = RoutingPolicyId), serial, stage reuse on — the policy only
+// enters at the routing stage, so partition/assignment artifacts are
+// shared and the wall time isolates what the discipline itself costs.
+// run_benches.sh distills the per-policy rows into the `routing` section
+// of BENCH_explore.json.
+void BM_explore_routing(benchmark::State& state) {
+    static const DesignSpec spec = prepared_benchmark("D_36_4");
+    SynthesisConfig cfg = paper_cfg();
+    cfg.run_floorplan = false;
+    cfg.max_switches = 6;  // bound the per-point switch-count sweep
+
+    const auto policy =
+        static_cast<routing::RoutingPolicyId>(state.range(0));
+    ExploreOptions opts;
+    opts.num_threads = 1;
+    opts.use_cache = false;
+
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6, 500e6, 600e6}));
+    grid.set_axis(ParamAxis::max_tsvs({15, 25}));
+    grid.set_axis(ParamAxis::routing_policies({policy}));
+
+    long long valid = 0;
+    for (auto _ : state) {
+        const Explorer explorer(spec, cfg, opts);
+        const ExploreResult res = explorer.run(grid);
+        valid += res.stats.valid_designs;
+        benchmark::DoNotOptimize(res.stats.pareto_size);
+    }
+    state.SetLabel(routing::routing_to_string(policy));
+    state.counters["valid_designs"] =
+        static_cast<double>(valid / state.iterations());
+}
+BENCHMARK(BM_explore_routing)
+    ->Arg(static_cast<int>(routing::RoutingPolicyId::UpDown))
+    ->Arg(static_cast<int>(routing::RoutingPolicyId::WestFirst))
+    ->Arg(static_cast<int>(routing::RoutingPolicyId::OddEven))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

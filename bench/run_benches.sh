@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the tracked performance benches and distill their JSON output:
 #   bench_explore_scaling -> BENCH_explore.json (points/sec per thread
-#     count, speedup vs 1 thread, plus the pipeline stage-reuse win on a
-#     frequency x link-width grid)
+#     count, speedup vs 1 thread, the pipeline stage-reuse win on a
+#     frequency x link-width grid, and the per-routing-policy sweep cost
+#     on a frequency x TSV grid)
 #   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
 #     curves per paper benchmark)
 # Extra arguments are passed through to both bench binaries
@@ -37,6 +38,7 @@ import json, sys
 raw = json.load(open(sys.argv[1]))
 rows = {}
 reuse_rows = {}
+routing_rows = {}
 for b in raw.get("benchmarks", []):
     # Names look like BM_explore/4/process_time/real_time or
     # BM_explore_freq_width/1/... . Skip the _mean/_median/_stddev/_cv
@@ -49,6 +51,8 @@ for b in raw.get("benchmarks", []):
         rows.setdefault(int(parts[1]), []).append(b)
     elif parts[0] == "BM_explore_freq_width":
         reuse_rows.setdefault(int(parts[1]), []).append(b)
+    elif parts[0] == "BM_explore_routing":
+        routing_rows.setdefault(int(parts[1]), []).append(b)
 threads = {}
 for t, bs in rows.items():
     n = len(bs)
@@ -81,11 +85,25 @@ if "off" in stage_reuse and "on" in stage_reuse:
         stage_reuse["off"]["real_time_ms"] /
         stage_reuse["on"]["real_time_ms"], 3)
 
+# Routing-policy sweep (same frequency x TSV grid per policy). The bench
+# labels each row with the policy's canonical name.
+policy_names = {0: "up-down", 1: "west-first", 2: "odd-even"}
+routing = {}
+for arg, bs in routing_rows.items():
+    n = len(bs)
+    routing[bs[0].get("label") or policy_names.get(arg, str(arg))] = {
+        "real_time_ms": round(sum(b["real_time"] for b in bs) / n, 3),
+        "valid_designs": round(
+            sum(b.get("valid_designs", 0.0) for b in bs) / n, 1),
+        "repetitions": n,
+    }
+
 out = {
     "bench": "bench_explore_scaling",
     "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
     "threads": {str(t): threads[t] for t in sorted(threads)},
     "stage_reuse": stage_reuse,
+    "routing": routing,
 }
 with open(sys.argv[2], "w") as f:
     json.dump(out, f, indent=2)

@@ -12,6 +12,7 @@
 #include "sunfloor/graph/partition.h"
 #include "sunfloor/noc/evaluation.h"
 #include "sunfloor/noc/topology.h"
+#include "sunfloor/routing/policy.h"
 #include "sunfloor/spec/parser.h"
 #include "sunfloor/util/rng.h"
 
@@ -52,6 +53,12 @@ struct SynthesisConfig {
     /// Path-cost latency weight: cost = marginal power (mW) +
     /// latency_weight * cycles. 0 = pure power objective.
     double latency_weight = 0.0;
+
+    /// Routing discipline: the admissible route set of the path
+    /// computation and (for adaptive policies) of the simulator's per-hop
+    /// output selection. The default reproduces the paper's up*/down*
+    /// order bit for bit (see routing/policy.h).
+    routing::RoutingPolicyId routing = routing::RoutingPolicyId::UpDown;
 
     /// Fraction of raw link bandwidth usable by traffic.
     double link_capacity_utilization = 1.0;
@@ -95,6 +102,11 @@ struct DesignPoint {
     std::vector<double> layer_die_area_mm2;
     bool valid = false;
     std::string fail_reason;
+    /// Links the path computation left oversubscribed (> capacity); only
+    /// ever non-zero on failed points, surfaced by write_synthesis_report
+    /// and the explore exports so capacity failures are not buried in the
+    /// fail_reason text.
+    int capacity_violations = 0;
 
     double total_die_area_mm2() const {
         double a = 0.0;

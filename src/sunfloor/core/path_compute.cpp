@@ -1,11 +1,11 @@
 #include "sunfloor/core/path_compute.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <queue>
 
-#include "sunfloor/graph/algorithms.h"
+#include "sunfloor/routing/cost_model.h"
+#include "sunfloor/routing/policy.h"
 #include "sunfloor/util/strings.h"
 
 namespace sunfloor {
@@ -17,29 +17,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 class PathComputer {
   public:
     PathComputer(Topology& topo, const DesignSpec& spec,
-                 const SynthesisConfig& cfg)
-        : topo_(topo), spec_(spec), cfg_(cfg) {
-        capacity_mbps_ = cfg.eval.freq_hz *
-                         (cfg.eval.lib.params().flit_width_bits / 8.0) * 1e-6 *
-                         cfg.link_capacity_utilization;
-        max_sw_size_ = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
-        soft_inf_ = compute_soft_inf();
+                 const SynthesisConfig& cfg,
+                 const routing::RoutingPolicy& policy)
+        : topo_(topo), spec_(spec), policy_(policy),
+          cost_(topo, spec, cfg) {
         num_layers_ = std::max(1, spec.cores.num_layers());
-        rebuild_caches();
     }
 
     PathComputeResult run() {
         PathComputeResult res;
-        // Decreasing bandwidth order (heaviest flows get the cheapest,
-        // shortest routes; this is the ordering of [16]).
-        std::vector<int> order(static_cast<std::size_t>(spec_.comm.num_flows()));
-        for (std::size_t i = 0; i < order.size(); ++i)
-            order[i] = static_cast<int>(i);
-        std::sort(order.begin(), order.end(), [&](int a, int b) {
-            const double ba = spec_.comm.flow(a).bw_mbps;
-            const double bb = spec_.comm.flow(b).bw_mbps;
-            return ba != bb ? ba > bb : a < b;
-        });
+        // Flow-order scheduling is the policy's third concern; every
+        // shipped policy uses the decreasing-bandwidth order of [16].
+        const std::vector<int> order = policy_.schedule_flows(spec_.comm);
 
         std::vector<int> failed;
         for (int f : order)
@@ -49,7 +38,7 @@ class PathComputer {
             // Indirect switches (Section VI): one per layer touched by a
             // failed flow, used as extra intermediate hops.
             res.indirect_switches_added = add_indirect_switches(failed);
-            rebuild_caches();
+            cost_.rebuild();
             std::vector<int> still_failed;
             for (int f : failed)
                 if (!route_flow(f)) still_failed.push_back(f);
@@ -57,7 +46,7 @@ class PathComputer {
         }
 
         for (int l = 0; l < topo_.num_links(); ++l)
-            if (topo_.link(l).bw_mbps > capacity_mbps_ + 1e-9)
+            if (topo_.link(l).bw_mbps > cost_.capacity_mbps() + 1e-9)
                 res.capacity_violations.push_back(l);
 
         res.failed_flows = std::move(failed);
@@ -66,61 +55,8 @@ class PathComputer {
     }
 
   private:
-    // --- cached topology state (hot path of edge_cost) ---------------------
-    void rebuild_caches() {
-        nsw_ = topo_.num_switches();
-        const std::size_t cells = static_cast<std::size_t>(nsw_) * nsw_;
-        for (int c = 0; c < 2; ++c) {
-            sw_links_[c].assign(cells, {});
-        }
-        in_deg_.assign(static_cast<std::size_t>(nsw_), 0);
-        out_deg_.assign(static_cast<std::size_t>(nsw_), 0);
-        ill_.assign(static_cast<std::size_t>(std::max(1, num_layers_ - 1)), 0);
-        for (int l = 0; l < topo_.num_links(); ++l) {
-            const auto& lk = topo_.link(l);
-            if (lk.dst.is_switch())
-                ++in_deg_[static_cast<std::size_t>(lk.dst.index)];
-            if (lk.src.is_switch())
-                ++out_deg_[static_cast<std::size_t>(lk.src.index)];
-            if (lk.src.is_switch() && lk.dst.is_switch())
-                sw_links_[static_cast<int>(lk.cls)]
-                         [cell(lk.src.index, lk.dst.index)].push_back(l);
-            const int la = topo_.node_layer(lk.src);
-            const int lb = topo_.node_layer(lk.dst);
-            for (int b = std::min(la, lb); b < std::max(la, lb); ++b)
-                ++ill_[static_cast<std::size_t>(b)];
-        }
-    }
-
-    std::size_t cell(int i, int j) const {
-        return static_cast<std::size_t>(i) * nsw_ + j;
-    }
-
-    double compute_soft_inf() const {
-        double diag = 1.0;
-        for (int ly = 0; ly < std::max(1, spec_.cores.num_layers()); ++ly) {
-            const Rect bb = spec_.cores.layer_bounding_box(ly);
-            diag = std::max(diag, bb.w + bb.h + bb.x + bb.y);
-        }
-        const double max_flits =
-            cfg_.eval.lib.flits_per_second(spec_.comm.max_bw());
-        const double worst_hop_mw =
-            max_flits * cfg_.eval.wire.params().energy_pj_per_flit_mm * diag *
-                1e-9 +
-            max_flits * cfg_.eval.lib.switch_energy_per_flit_pj(
-                            max_sw_size_, max_sw_size_) *
-                1e-9 +
-            cfg_.eval.wire.params().idle_mw_per_mm_ghz * diag *
-                cfg_.eval.freq_hz / 1e9;
-        return cfg_.soft_inf_factor * std::max(worst_hop_mw, 1e-6);
-    }
-
-    // Existing (i,j) channel of the class with room for bw; -1 when none.
-    int usable_link(int i, int j, int cls, double bw) const {
-        for (int id : sw_links_[cls][cell(i, j)])
-            if (topo_.link(id).bw_mbps + bw <= capacity_mbps_ + 1e-9)
-                return id;
-        return -1;
+    routing::SwitchView view(int sw) const {
+        return {sw, topo_.switch_at(sw).layer};
     }
 
     // First (core->switch) link of a flow; -1 when missing.
@@ -139,103 +75,36 @@ class PathComputer {
         return -1;
     }
 
-    // CHECK_CONSTRAINTS(i, j) of Algorithm 3 combined with the marginal
-    // power/latency cost of moving `f` over switch link (i, j).
-    double edge_cost(int i, int j, const Flow& f) const {
-        const int li = topo_.switch_at(i).layer;
-        const int lj = topo_.switch_at(j).layer;
-        const int span = std::abs(li - lj);
-        const int cls = static_cast<int>(f.type);
-        // Reuse an existing parallel channel with spare capacity if any;
-        // otherwise a fresh physical link must be opened.
-        const int existing = usable_link(i, j, cls, f.bw_mbps);
-        const bool have_any =
-            !sw_links_[cls][cell(i, j)].empty();
-        (void)have_any;
-
-        double cost = 0.0;
-        if (existing >= 0) {
-            // Reuse: only the marginal dynamic cost below applies.
-        } else {
-            // Hard constraints for opening a new physical link.
-            if (span >= 2 && !cfg_.allow_multilayer_links) return kInf;
-            for (int b = std::min(li, lj); b < std::max(li, lj); ++b) {
-                const int used = ill_[static_cast<std::size_t>(b)];
-                if (used + 1 > cfg_.max_ill) return kInf;
-                if (cfg_.use_soft_thresholds &&
-                    used + 1 > cfg_.max_ill - cfg_.soft_ill_margin)
-                    cost += soft_inf_;
-            }
-            const int out_i = out_deg_[static_cast<std::size_t>(i)];
-            const int in_j = in_deg_[static_cast<std::size_t>(j)];
-            if (out_i + 1 > max_sw_size_ || in_j + 1 > max_sw_size_)
-                return kInf;
-            if (cfg_.use_soft_thresholds &&
-                (out_i + 1 > max_sw_size_ - cfg_.soft_switch_margin ||
-                 in_j + 1 > max_sw_size_ - cfg_.soft_switch_margin))
-                cost += soft_inf_;
-        }
-
-        const double flits = cfg_.eval.lib.flits_per_second(f.bw_mbps);
-        const double len = manhattan(topo_.switch_at(i).position,
-                                     topo_.switch_at(j).position);
-        // Marginal dynamic power of the wire and the destination switch.
-        cost += flits * cfg_.eval.wire.params().energy_pj_per_flit_mm * len *
-                1e-9;
-        cost += cfg_.eval.tsv.power_mw(flits, span);
-        cost += flits *
-                cfg_.eval.lib.switch_energy_per_flit_pj(
-                    in_deg_[static_cast<std::size_t>(j)] + 1,
-                    out_deg_[static_cast<std::size_t>(j)] + 1) *
-                1e-9;
-        if (existing < 0) {
-            // Opening the link adds its idle power and grows two crossbars.
-            cost += cfg_.eval.wire.params().idle_mw_per_mm_ghz * len *
-                    cfg_.eval.freq_hz / 1e9;
-            cost += cfg_.eval.lib.switch_idle_power_mw(1, 1, cfg_.eval.freq_hz);
-        }
-        if (cfg_.latency_weight > 0.0) {
-            const int stages =
-                cfg_.eval.wire.pipeline_stages(len, cfg_.eval.freq_hz);
-            cost += cfg_.latency_weight * (1.0 + (stages - 1));
-        }
-        return cost;
-    }
-
-    // Dijkstra over (switch, phase) states implementing up*/down* order:
-    // phase 0 = still ascending, phase 1 = descending. Any path that first
-    // ascends in switch index and then descends yields only "forward"
-    // channel dependencies, so the CDG stays acyclic for every set of such
-    // paths. Returns the switch sequence, empty on failure.
+    // Dijkstra over the policy's (switch, state) product graph: only hops
+    // the route-set automaton admits are expanded, so any returned path is
+    // in the policy's route set by construction (e.g. up*/down* under the
+    // default policy: an ascending segment followed by a descending one).
+    // Returns the switch sequence, empty on failure.
     std::vector<int> find_route(int sw_s, int sw_d, const Flow& f) const {
-        const int nstates = 2 * nsw_;
+        const int nsw = topo_.num_switches();
+        const int S = policy_.num_states();
+        const int nstates = S * nsw;
         std::vector<double> dist(static_cast<std::size_t>(nstates), kInf);
         std::vector<int> prev(static_cast<std::size_t>(nstates), -1);
         using Item = std::pair<double, int>;
         std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-        const int start = 2 * sw_s;  // ascending phase
+        const int start = S * sw_s + policy_.initial_state();
         dist[static_cast<std::size_t>(start)] = 0.0;
         pq.push({0.0, start});
         while (!pq.empty()) {
             const auto [d, st] = pq.top();
             pq.pop();
             if (d > dist[static_cast<std::size_t>(st)]) continue;
-            const int u = st / 2;
-            const int phase = st % 2;
+            const int u = st / S;
+            const int state = st % S;
             if (u == sw_d) break;
-            for (int v = 0; v < nsw_; ++v) {
+            for (int v = 0; v < nsw; ++v) {
                 if (v == u) continue;
-                const bool asc = v > u;
-                int nphase;
-                if (phase == 0)
-                    nphase = asc ? 0 : 1;  // may turn downward once
-                else if (!asc)
-                    nphase = 1;            // keep descending
-                else
-                    continue;              // down->up is forbidden
-                const double c = edge_cost(u, v, f);
+                const int nstate = policy_.next_state(view(u), view(v), state);
+                if (nstate < 0) continue;  // outside the route set
+                const double c = cost_.edge_cost(u, v, f);
                 if (c == kInf) continue;
-                const int nst = 2 * v + nphase;
+                const int nst = S * v + nstate;
                 if (d + c < dist[static_cast<std::size_t>(nst)]) {
                     dist[static_cast<std::size_t>(nst)] = d + c;
                     prev[static_cast<std::size_t>(nst)] = st;
@@ -244,8 +113,8 @@ class PathComputer {
             }
         }
         int goal = -1;
-        for (int phase = 0; phase < 2; ++phase) {
-            const int st = 2 * sw_d + phase;
+        for (int state = 0; state < S; ++state) {
+            const int st = S * sw_d + state;
             if (dist[static_cast<std::size_t>(st)] < kInf &&
                 (goal < 0 || dist[static_cast<std::size_t>(st)] <
                                  dist[static_cast<std::size_t>(goal)]))
@@ -254,7 +123,7 @@ class PathComputer {
         if (goal < 0) return {};
         std::vector<int> seq;
         for (int st = goal; st >= 0; st = prev[static_cast<std::size_t>(st)])
-            seq.push_back(st / 2);
+            seq.push_back(st / S);
         std::reverse(seq.begin(), seq.end());
         return seq;
     }
@@ -276,18 +145,11 @@ class PathComputer {
             for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
                 const int a = seq[i];
                 const int b = seq[i + 1];
-                int id = usable_link(a, b, cls, f.bw_mbps);
+                int id = cost_.usable_link(a, b, cls, f.bw_mbps);
                 if (id < 0) {
                     id = topo_.add_parallel_link(NodeRef::sw(a),
                                                  NodeRef::sw(b), f.type);
-                    sw_links_[cls][cell(a, b)].push_back(id);
-                    ++out_deg_[static_cast<std::size_t>(a)];
-                    ++in_deg_[static_cast<std::size_t>(b)];
-                    const int la = topo_.switch_at(a).layer;
-                    const int lb = topo_.switch_at(b).layer;
-                    for (int bd = std::min(la, lb); bd < std::max(la, lb);
-                         ++bd)
-                        ++ill_[static_cast<std::size_t>(bd)];
+                    cost_.note_link_opened(id, a, b, cls);
                 }
                 links.push_back(id);
             }
@@ -316,24 +178,18 @@ class PathComputer {
 
     Topology& topo_;
     const DesignSpec& spec_;
-    const SynthesisConfig& cfg_;
-    double capacity_mbps_ = 0.0;
-    int max_sw_size_ = 0;
-    double soft_inf_ = 0.0;
+    const routing::RoutingPolicy& policy_;
+    routing::LinkCostModel cost_;
     int num_layers_ = 1;
-
-    int nsw_ = 0;
-    std::vector<std::vector<int>> sw_links_[2];  ///< channels per (i,j), class
-    std::vector<int> in_deg_;
-    std::vector<int> out_deg_;
-    std::vector<int> ill_;  ///< crossings per adjacent boundary
 };
 
 }  // namespace
 
 PathComputeResult compute_paths(Topology& topo, const DesignSpec& spec,
                                 const SynthesisConfig& cfg) {
-    return PathComputer(topo, spec, cfg).run();
+    return PathComputer(topo, spec, cfg,
+                        routing::routing_policy(cfg.routing))
+        .run();
 }
 
 }  // namespace sunfloor

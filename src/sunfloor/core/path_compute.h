@@ -1,24 +1,23 @@
-// Path computation (Section VI, Algorithm 3).
+// Path computation (Section VI, Algorithm 3), generalized over pluggable
+// routing disciplines.
 //
-// Flows are routed one at a time in decreasing bandwidth order over the
-// switch graph. Every ordered switch pair is a candidate physical link; the
-// cost of routing a flow across (i, j) is the *marginal* power of carrying
-// it there (dynamic wire + TSV energy, destination-switch traversal energy,
-// plus the idle cost of opening the link when it does not exist yet),
-// optionally weighted with latency. Algorithm 3's hard (INF) and soft
-// (SOFT_INF) thresholds gate:
-//   * vertical adjacency  — links across >= 2 layers are forbidden unless
-//     the technology allows them (Phase 1 freedom);
-//   * max_ill             — a new link may not push any crossed adjacent
-//     boundary past the budget; close to the budget costs SOFT_INF;
-//   * max_switch_size     — ports on either endpoint may not exceed the
-//     largest switch usable at the target frequency.
+// Flows are routed one at a time in the order the configured
+// RoutingPolicy schedules (decreasing bandwidth for every shipped policy)
+// over the switch graph. Every ordered switch pair is a candidate
+// physical link; candidate hops are priced by the shared
+// routing::LinkCostModel (marginal power, Algorithm 3's INF/SOFT_INF
+// thresholds, optional latency weighting) and searched with Dijkstra over
+// the policy's (switch, state) product graph, so only paths inside the
+// policy's admissible route set are ever considered. With the default
+// `up-down` policy this is the paper's flow, bit for bit.
 //
 // Deadlock freedom:
-//   * routing deadlock  — inter-switch paths follow the up*/down*
-//     discipline w.r.t. the switch index order (ascending segment followed
-//     by a descending segment), which makes the channel dependency graph
-//     acyclic by construction on any topology;
+//   * routing deadlock  — every shipped policy's route set is a two-phase
+//     discipline over a strict total switch order (routing/policy.h),
+//     which makes the channel dependency graph acyclic for any set of
+//     admissible paths; the evaluation stage re-verifies each design via
+//     build_cdg, and routing/route_sets.h verifies the *enlarged*
+//     adaptive route sets the simulator draws from;
 //   * message-dependent deadlock — request and response flows use disjoint
 //     physical links (class-separated channels), so the two classes can
 //     never couple into a cycle (see deadlock.h).

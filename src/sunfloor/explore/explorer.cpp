@@ -283,6 +283,10 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
             const SynthesisConfig cfg = pr.point.apply(base_cfg_);
             sim::SimParams sp = opts_.sim;
             sp.seed = explore_sim_seed(pr.seed, opts_.sim.seed, job.design);
+            // Measure with the discipline the point was synthesized
+            // under: adaptive policies select outputs per hop, so the
+            // routing axis shifts measured latency, not just the paths.
+            sp.routing = cfg.routing;
             pr.sim_reports[static_cast<std::size_t>(job.design)] =
                 sim::simulate(
                     pr.result.points[static_cast<std::size_t>(job.design)]

@@ -30,9 +30,9 @@ std::string json_quote(const std::string& s) {
 
 Table explore_table(const ExploreResult& result) {
     Table t({"point", "freq_mhz", "max_tsvs", "link_width_bits", "phase",
-             "theta", "switches", "valid", "power_mw", "latency_cycles",
-             "sim_latency_cycles", "area_mm2", "tsvs", "pareto", "cache_hit",
-             "fail_reason"});
+             "theta", "routing", "switches", "valid", "power_mw",
+             "latency_cycles", "sim_latency_cycles", "area_mm2", "tsvs",
+             "pareto", "cache_hit", "fail_reason"});
     std::set<std::pair<int, int>> on_front;
     for (const auto& e : result.pareto)
         on_front.insert({e.point_index, e.design_index});
@@ -50,6 +50,7 @@ Table explore_table(const ExploreResult& result) {
                        static_cast<long long>(gp.max_tsvs),
                        static_cast<long long>(gp.link_width_bits),
                        std::string(phase_to_string(gp.phase)), gp.theta,
+                       std::string(routing::routing_to_string(gp.routing)),
                        static_cast<long long>(dp.switch_count),
                        static_cast<long long>(dp.valid ? 1 : 0),
                        dp.report.power.total_mw(),
@@ -111,6 +112,9 @@ void write_explore_json(std::ostream& os, const ExploreResult& result,
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const auto& pr = result.points[i];
         const GridPoint& gp = pr.point;
+        int capacity_violations = 0;
+        for (const auto& dp : pr.result.points)
+            capacity_violations += dp.capacity_violations;
         os << "    {\"point\": " << gp.index
            << ", \"label\": " << json_quote(gp.label())
            << ", \"freq_hz\": " << format("%.0f", gp.freq_hz)
@@ -118,11 +122,14 @@ void write_explore_json(std::ostream& os, const ExploreResult& result,
            << ", \"link_width_bits\": " << gp.link_width_bits
            << ", \"phase\": " << json_quote(phase_to_string(gp.phase))
            << ", \"theta\": " << format("%g", gp.theta)
+           << ", \"routing\": "
+           << json_quote(routing::routing_to_string(gp.routing))
            << ", \"phase_used\": " << json_quote(pr.result.phase_used)
            << ", \"cache_hit\": " << (pr.cache_hit ? "true" : "false")
            << ", \"designs\": "
            << static_cast<int>(pr.result.points.size())
            << ", \"valid\": " << pr.result.num_valid()
+           << ", \"capacity_violations\": " << capacity_violations
            << ", \"pareto_survivors\": " << pr.pareto_survivors << "}"
            << (i + 1 < result.points.size() ? "," : "") << "\n";
     }

@@ -23,6 +23,18 @@ SynthesisPhase value_phase(double v) {
     return SynthesisPhase::Auto;
 }
 
+double routing_value(routing::RoutingPolicyId id) {
+    return static_cast<double>(static_cast<int>(id));
+}
+
+routing::RoutingPolicyId value_routing(double v) {
+    if (v == routing_value(routing::RoutingPolicyId::WestFirst))
+        return routing::RoutingPolicyId::WestFirst;
+    if (v == routing_value(routing::RoutingPolicyId::OddEven))
+        return routing::RoutingPolicyId::OddEven;
+    return routing::RoutingPolicyId::UpDown;
+}
+
 }  // namespace
 
 ParamAxis ParamAxis::frequencies_hz(std::vector<double> hz) {
@@ -49,6 +61,14 @@ ParamAxis ParamAxis::phases(std::vector<SynthesisPhase> phases) {
 
 ParamAxis ParamAxis::thetas(std::vector<double> thetas) {
     return {ParamKind::Theta, std::move(thetas)};
+}
+
+ParamAxis ParamAxis::routing_policies(
+    std::vector<routing::RoutingPolicyId> policies) {
+    ParamAxis a{ParamKind::Routing, {}};
+    for (routing::RoutingPolicyId p : policies)
+        a.values.push_back(routing_value(p));
+    return a;
 }
 
 SynthesisConfig GridPoint::apply(const SynthesisConfig& base) const {
@@ -85,13 +105,20 @@ SynthesisConfig GridPoint::apply(const SynthesisConfig& base) const {
         if (cfg.theta_max < theta) cfg.theta_max = theta;
         cfg.theta_step = cfg.theta_max - theta + 1.0;
     }
+    cfg.routing = routing;
     return cfg;
 }
 
 std::string GridPoint::key() const {
-    return format("f=%s;tsv=%d;w=%d;ph=%s;th=%s", double_bits(freq_hz).c_str(),
-                  max_tsvs, link_width_bits, phase_to_string(phase),
-                  double_bits(theta).c_str());
+    std::string key =
+        format("f=%s;tsv=%d;w=%d;ph=%s;th=%s", double_bits(freq_hz).c_str(),
+               max_tsvs, link_width_bits, phase_to_string(phase),
+               double_bits(theta).c_str());
+    // Appended only for non-default policies: default points keep their
+    // pre-policy identity (seeds, cross-run cache entries).
+    if (routing != routing::RoutingPolicyId::UpDown)
+        key += format(";rp=%s", routing::routing_to_string(routing));
+    return key;
 }
 
 std::string GridPoint::partition_key() const {
@@ -103,6 +130,8 @@ std::string GridPoint::label() const {
     std::string s = format("f=%.0fMHz tsv=%d w=%d phase=%s", freq_hz / 1e6,
                            max_tsvs, link_width_bits, phase_to_string(phase));
     if (theta != kSweepTheta) s += format(" theta=%g", theta);
+    if (routing != routing::RoutingPolicyId::UpDown)
+        s += format(" routing=%s", routing::routing_to_string(routing));
     return s;
 }
 
@@ -114,6 +143,7 @@ ParamGrid::ParamGrid() {
         {ParamKind::LinkWidthBits, {static_cast<double>(d.link_width_bits)}},
         {ParamKind::Phase, {phase_value(d.phase)}},
         {ParamKind::Theta, {d.theta}},
+        {ParamKind::Routing, {routing_value(d.routing)}},
     };
 }
 
@@ -145,6 +175,12 @@ void ParamGrid::set_axis(const ParamAxis& axis) {
                 if (v != kSweepTheta && v <= 0.0)
                     throw std::invalid_argument("ParamGrid: theta <= 0");
                 break;
+            case ParamKind::Routing:
+                // Round-trip through the one enum<->double codec, as the
+                // phase axis does.
+                if (routing_value(value_routing(v)) != v)
+                    throw std::invalid_argument("ParamGrid: bad routing");
+                break;
         }
     }
     axes_[static_cast<std::size_t>(axis.kind)] = axis;
@@ -171,17 +207,19 @@ std::vector<GridPoint> ParamGrid::enumerate() const {
         for (double tsv : axis(ParamKind::MaxTsvs).values)
             for (double w : axis(ParamKind::LinkWidthBits).values)
                 for (double ph : axis(ParamKind::Phase).values)
-                    for (double th : axis(ParamKind::Theta).values) {
-                        GridPoint p;
-                        p.freq_hz = f;
-                        p.max_tsvs = static_cast<int>(tsv);
-                        p.link_width_bits = static_cast<int>(w);
-                        p.phase = value_phase(ph);
-                        p.theta = th;
-                        if (keep_ && !keep_(p)) continue;
-                        p.index = static_cast<int>(points.size());
-                        points.push_back(p);
-                    }
+                    for (double th : axis(ParamKind::Theta).values)
+                        for (double rp : axis(ParamKind::Routing).values) {
+                            GridPoint p;
+                            p.freq_hz = f;
+                            p.max_tsvs = static_cast<int>(tsv);
+                            p.link_width_bits = static_cast<int>(w);
+                            p.phase = value_phase(ph);
+                            p.theta = th;
+                            p.routing = value_routing(rp);
+                            if (keep_ && !keep_(p)) continue;
+                            p.index = static_cast<int>(points.size());
+                            points.push_back(p);
+                        }
     return points;
 }
 

@@ -4,9 +4,9 @@
 // parameters, such as frequency of operation" and repeats the topology
 // design process for each architectural point. ParamGrid names the axes
 // that loop can vary — operating frequency, TSV budget (max inter-layer
-// links), link width, synthesis phase and the PG/SPG theta — and
-// enumerates their cartesian product, optionally pruned by a user
-// predicate (e.g. "skip wide links at low frequency").
+// links), link width, synthesis phase, the PG/SPG theta and the routing
+// policy — and enumerates their cartesian product, optionally pruned by a
+// user predicate (e.g. "skip wide links at low frequency").
 #pragma once
 
 #include <functional>
@@ -28,6 +28,7 @@ enum class ParamKind {
     LinkWidthBits,  ///< flit/link width in bits
     Phase,          ///< synthesis phase: 0 = auto, 1, 2
     Theta,          ///< fixed SPG theta; kSweepTheta = Algorithm 1's sweep
+    Routing,        ///< routing policy (routing::RoutingPolicyId)
 };
 
 /// Sentinel theta meaning "keep the config's theta_min..theta_max sweep".
@@ -43,6 +44,8 @@ struct ParamAxis {
     static ParamAxis link_widths_bits(std::vector<int> widths);
     static ParamAxis phases(std::vector<SynthesisPhase> phases);
     static ParamAxis thetas(std::vector<double> thetas);
+    static ParamAxis routing_policies(
+        std::vector<routing::RoutingPolicyId> policies);
 };
 
 /// One architectural point of the grid.
@@ -53,6 +56,7 @@ struct GridPoint {
     int link_width_bits = 32;
     SynthesisPhase phase = SynthesisPhase::Auto;
     double theta = kSweepTheta;
+    routing::RoutingPolicyId routing = routing::RoutingPolicyId::UpDown;
 
     /// Copy `base` with this point's parameters applied. Link width scales
     /// the library flit width and the per-flit wire energy proportionally.
@@ -61,7 +65,9 @@ struct GridPoint {
     /// Stable textual identity of the architectural point (exact — doubles
     /// are rendered from their bit patterns). Two points with equal keys
     /// produce identical synthesis runs; the explorer's cache and the
-    /// per-point RNG seeding both key off this.
+    /// per-point RNG seeding both key off this. The routing field is
+    /// appended only for non-default policies, so default-policy points
+    /// keep their pre-policy seeds (and cross-run cache entries).
     std::string key() const;
 
     /// The subset of key() the partition and assignment stages consume:
@@ -75,9 +81,10 @@ struct GridPoint {
     std::string label() const;
 };
 
-/// Cartesian grid over the five axes with optional pruning. Axes default
+/// Cartesian grid over the six axes with optional pruning. Axes default
 /// to a single value each (400 MHz, 25 TSVs, 32 bits, auto phase, theta
-/// sweep), so setting one axis yields a classic 1-D sweep.
+/// sweep, up-down routing), so setting one axis yields a classic 1-D
+/// sweep.
 class ParamGrid {
   public:
     ParamGrid();
@@ -96,7 +103,7 @@ class ParamGrid {
     std::size_t cartesian_size() const;
 
     /// All surviving points in deterministic nested order (frequency
-    /// outermost, theta innermost), with `index` set consecutively.
+    /// outermost, routing innermost), with `index` set consecutively.
     std::vector<GridPoint> enumerate() const;
 
   private:

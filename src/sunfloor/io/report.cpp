@@ -9,7 +9,7 @@ namespace sunfloor {
 Table design_points_table(const std::vector<DesignPoint>& points) {
     Table t({"phase", "switches", "theta", "switch_mW", "s2s_link_mW",
              "c2s_link_mW", "ni_mW", "total_mW", "avg_lat_cyc", "noc_area_mm2",
-             "max_ill", "valid", "fail_reason"});
+             "max_ill", "cap_viol", "valid", "fail_reason"});
     for (const auto& p : points) {
         t.add_row({p.phase, static_cast<long long>(p.switch_count), p.theta,
                    p.report.power.switch_mw, p.report.power.s2s_link_mw,
@@ -17,6 +17,7 @@ Table design_points_table(const std::vector<DesignPoint>& points) {
                    p.report.power.total_mw(), p.report.avg_latency_cycles,
                    p.report.noc_area_mm2(),
                    static_cast<long long>(p.report.max_ill_used),
+                   static_cast<long long>(p.capacity_violations),
                    std::string(p.valid ? "yes" : "no"), p.fail_reason});
     }
     return t;
@@ -32,6 +33,14 @@ void write_synthesis_report(std::ostream& os, const SynthesisResult& result) {
         "evaluation %.1f ms (total %.1f ms)\n",
         t.partition_ms, t.routing_ms, t.placement_ms, t.evaluation_ms,
         t.total_ms());
+    int capacity_violations = 0;
+    for (const auto& p : result.points)
+        capacity_violations += p.capacity_violations;
+    if (capacity_violations > 0)
+        os << format(
+            "capacity violations: %d oversubscribed links across failed "
+            "points (see the cap_viol column)\n",
+            capacity_violations);
     design_points_table(result.points).write_pretty(os);
     const int bp = result.best_power_index();
     if (bp >= 0) {

@@ -83,6 +83,8 @@ struct RoutingArtifact {
     Topology topo;
     bool ok = false;
     std::string fail_reason;  ///< set when !ok
+    int failed_flows = 0;         ///< flows Algorithm 3 left unrouted
+    int capacity_violations = 0;  ///< links left oversubscribed
 };
 
 /// Output of the position stage: switch coordinates from the LP (Eq. 2-5)

@@ -100,15 +100,17 @@ std::string partition_cfg_key(const SynthesisConfig& cfg,
 
 std::string routing_cfg_key(const SynthesisConfig& cfg) {
     // The full model (link capacity, marginal-power costs, pruning rules)
-    // plus the path-computation knobs.
+    // plus the path-computation knobs — including the routing policy, so
+    // a session caches one routing artifact per discipline.
     return eval_params_key(cfg.eval) +
-           format(";ill=%d;ml=%d;sm=%d,%d;sf=%s;st=%d;lw=%s;lu=%s",
+           format(";ill=%d;ml=%d;sm=%d,%d;sf=%s;st=%d;lw=%s;lu=%s;rp=%s",
                   cfg.max_ill, cfg.allow_multilayer_links ? 1 : 0,
                   cfg.soft_ill_margin, cfg.soft_switch_margin,
                   double_bits(cfg.soft_inf_factor).c_str(),
                   cfg.use_soft_thresholds ? 1 : 0,
                   double_bits(cfg.latency_weight).c_str(),
-                  double_bits(cfg.link_capacity_utilization).c_str());
+                  double_bits(cfg.link_capacity_utilization).c_str(),
+                  routing::routing_to_string(cfg.routing));
 }
 
 std::string placement_cfg_key(const SynthesisConfig& cfg) {
@@ -225,6 +227,9 @@ RoutingArtifact route_assignment(const DesignSpec& spec,
     }
 
     const PathComputeResult paths = compute_paths(ra.topo, spec, cfg);
+    ra.failed_flows = static_cast<int>(paths.failed_flows.size());
+    ra.capacity_violations =
+        static_cast<int>(paths.capacity_violations.size());
     if (!paths.ok) {
         ra.fail_reason =
             format("path computation failed (%zu flows, %zu capacity)",
@@ -276,6 +281,7 @@ DesignPoint evaluate_design(const PlacementArtifact& placed,
 DesignPoint failed_design(const RoutingArtifact& routed) {
     DesignPoint dp(routed.topo);
     dp.fail_reason = routed.fail_reason;
+    dp.capacity_violations = routed.capacity_violations;
     return dp;
 }
 

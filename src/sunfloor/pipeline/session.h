@@ -18,7 +18,9 @@
 //               and TSV parameters — link width lives in the library's
 //               flit width), cfg.max_ill, cfg.allow_multilayer_links, the
 //               soft-threshold knobs, cfg.latency_weight,
-//               cfg.link_capacity_utilization
+//               cfg.link_capacity_utilization, and cfg.routing (the
+//               RoutingPolicy discipline), so one session caches a
+//               routing artifact per policy per assignment
 //   placement   the routed topology's full content — not the routing
 //               config, so routing configs that produce the same routed
 //               topology (e.g. neighbouring frequencies) share the

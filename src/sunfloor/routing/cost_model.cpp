@@ -1,0 +1,144 @@
+#include "sunfloor/routing/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sunfloor::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+LinkCostModel::LinkCostModel(const Topology& topo, const DesignSpec& spec,
+                             const SynthesisConfig& cfg)
+    : topo_(topo), spec_(spec), cfg_(cfg) {
+    capacity_mbps_ = cfg.eval.freq_hz *
+                     (cfg.eval.lib.params().flit_width_bits / 8.0) * 1e-6 *
+                     cfg.link_capacity_utilization;
+    max_sw_size_ = cfg.eval.lib.max_switch_size(cfg.eval.freq_hz);
+    soft_inf_ = compute_soft_inf();
+    num_layers_ = std::max(1, spec.cores.num_layers());
+    rebuild();
+}
+
+void LinkCostModel::rebuild() {
+    nsw_ = topo_.num_switches();
+    const std::size_t cells = static_cast<std::size_t>(nsw_) * nsw_;
+    for (int c = 0; c < 2; ++c) {
+        sw_links_[c].assign(cells, {});
+    }
+    in_deg_.assign(static_cast<std::size_t>(nsw_), 0);
+    out_deg_.assign(static_cast<std::size_t>(nsw_), 0);
+    ill_.assign(static_cast<std::size_t>(std::max(1, num_layers_ - 1)), 0);
+    for (int l = 0; l < topo_.num_links(); ++l) {
+        const auto& lk = topo_.link(l);
+        if (lk.dst.is_switch())
+            ++in_deg_[static_cast<std::size_t>(lk.dst.index)];
+        if (lk.src.is_switch())
+            ++out_deg_[static_cast<std::size_t>(lk.src.index)];
+        if (lk.src.is_switch() && lk.dst.is_switch())
+            sw_links_[static_cast<int>(lk.cls)]
+                     [cell(lk.src.index, lk.dst.index)].push_back(l);
+        const int la = topo_.node_layer(lk.src);
+        const int lb = topo_.node_layer(lk.dst);
+        for (int b = std::min(la, lb); b < std::max(la, lb); ++b)
+            ++ill_[static_cast<std::size_t>(b)];
+    }
+}
+
+double LinkCostModel::compute_soft_inf() const {
+    double diag = 1.0;
+    for (int ly = 0; ly < std::max(1, spec_.cores.num_layers()); ++ly) {
+        const Rect bb = spec_.cores.layer_bounding_box(ly);
+        diag = std::max(diag, bb.w + bb.h + bb.x + bb.y);
+    }
+    const double max_flits =
+        cfg_.eval.lib.flits_per_second(spec_.comm.max_bw());
+    const double worst_hop_mw =
+        max_flits * cfg_.eval.wire.params().energy_pj_per_flit_mm * diag *
+            1e-9 +
+        max_flits * cfg_.eval.lib.switch_energy_per_flit_pj(
+                        max_sw_size_, max_sw_size_) *
+            1e-9 +
+        cfg_.eval.wire.params().idle_mw_per_mm_ghz * diag *
+            cfg_.eval.freq_hz / 1e9;
+    return cfg_.soft_inf_factor * std::max(worst_hop_mw, 1e-6);
+}
+
+int LinkCostModel::usable_link(int i, int j, int cls, double bw) const {
+    for (int id : sw_links_[cls][cell(i, j)])
+        if (topo_.link(id).bw_mbps + bw <= capacity_mbps_ + 1e-9)
+            return id;
+    return -1;
+}
+
+double LinkCostModel::edge_cost(int i, int j, const Flow& f) const {
+    const int li = topo_.switch_at(i).layer;
+    const int lj = topo_.switch_at(j).layer;
+    const int span = std::abs(li - lj);
+    const int cls = static_cast<int>(f.type);
+    // Reuse an existing parallel channel with spare capacity if any;
+    // otherwise a fresh physical link must be opened.
+    const int existing = usable_link(i, j, cls, f.bw_mbps);
+
+    double cost = 0.0;
+    if (existing >= 0) {
+        // Reuse: only the marginal dynamic cost below applies.
+    } else {
+        // Hard constraints for opening a new physical link.
+        if (span >= 2 && !cfg_.allow_multilayer_links) return kInf;
+        for (int b = std::min(li, lj); b < std::max(li, lj); ++b) {
+            const int used = ill_[static_cast<std::size_t>(b)];
+            if (used + 1 > cfg_.max_ill) return kInf;
+            if (cfg_.use_soft_thresholds &&
+                used + 1 > cfg_.max_ill - cfg_.soft_ill_margin)
+                cost += soft_inf_;
+        }
+        const int out_i = out_deg_[static_cast<std::size_t>(i)];
+        const int in_j = in_deg_[static_cast<std::size_t>(j)];
+        if (out_i + 1 > max_sw_size_ || in_j + 1 > max_sw_size_)
+            return kInf;
+        if (cfg_.use_soft_thresholds &&
+            (out_i + 1 > max_sw_size_ - cfg_.soft_switch_margin ||
+             in_j + 1 > max_sw_size_ - cfg_.soft_switch_margin))
+            cost += soft_inf_;
+    }
+
+    const double flits = cfg_.eval.lib.flits_per_second(f.bw_mbps);
+    const double len = manhattan(topo_.switch_at(i).position,
+                                 topo_.switch_at(j).position);
+    // Marginal dynamic power of the wire and the destination switch.
+    cost += flits * cfg_.eval.wire.params().energy_pj_per_flit_mm * len *
+            1e-9;
+    cost += cfg_.eval.tsv.power_mw(flits, span);
+    cost += flits *
+            cfg_.eval.lib.switch_energy_per_flit_pj(
+                in_deg_[static_cast<std::size_t>(j)] + 1,
+                out_deg_[static_cast<std::size_t>(j)] + 1) *
+            1e-9;
+    if (existing < 0) {
+        // Opening the link adds its idle power and grows two crossbars.
+        cost += cfg_.eval.wire.params().idle_mw_per_mm_ghz * len *
+                cfg_.eval.freq_hz / 1e9;
+        cost += cfg_.eval.lib.switch_idle_power_mw(1, 1, cfg_.eval.freq_hz);
+    }
+    if (cfg_.latency_weight > 0.0) {
+        const int stages =
+            cfg_.eval.wire.pipeline_stages(len, cfg_.eval.freq_hz);
+        cost += cfg_.latency_weight * (1.0 + (stages - 1));
+    }
+    return cost;
+}
+
+void LinkCostModel::note_link_opened(int link_id, int i, int j, int cls) {
+    sw_links_[cls][cell(i, j)].push_back(link_id);
+    ++out_deg_[static_cast<std::size_t>(i)];
+    ++in_deg_[static_cast<std::size_t>(j)];
+    const int la = topo_.switch_at(i).layer;
+    const int lb = topo_.switch_at(j).layer;
+    for (int bd = std::min(la, lb); bd < std::max(la, lb); ++bd)
+        ++ill_[static_cast<std::size_t>(bd)];
+}
+
+}  // namespace sunfloor::routing

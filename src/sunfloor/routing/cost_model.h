@@ -1,0 +1,79 @@
+// The link cost model of Algorithm 3, extracted from the path computation
+// so every RoutingPolicy prices candidate hops identically.
+//
+// The cost of routing a flow across the ordered switch pair (i, j) is the
+// *marginal* power of carrying it there — dynamic wire + TSV energy,
+// destination-switch traversal energy, plus the idle cost of opening the
+// physical link when no existing parallel channel has spare capacity —
+// optionally weighted with latency. Algorithm 3's hard (INF) and soft
+// (SOFT_INF) thresholds gate:
+//   * vertical adjacency  — links across >= 2 layers are forbidden unless
+//     the technology allows them (Phase 1 freedom);
+//   * max_ill             — a new link may not push any crossed adjacent
+//     boundary past the budget; close to the budget costs SOFT_INF;
+//   * max_switch_size     — ports on either endpoint may not exceed the
+//     largest switch usable at the target frequency.
+//
+// The model carries the mutable accounting the incremental routing needs
+// (per-pair channel lists, port degrees, boundary crossings); the caller
+// reports every opened link through note_link_opened() and calls rebuild()
+// after structural topology changes (e.g. indirect-switch insertion).
+#pragma once
+
+#include <vector>
+
+#include "sunfloor/core/design_point.h"
+
+namespace sunfloor::routing {
+
+class LinkCostModel {
+  public:
+    LinkCostModel(const Topology& topo, const DesignSpec& spec,
+                  const SynthesisConfig& cfg);
+
+    /// Re-derive the cached topology state (degrees, channel lists,
+    /// boundary crossings) after switches or links changed outside
+    /// note_link_opened().
+    void rebuild();
+
+    /// Usable link bandwidth (MB/s) of one physical channel.
+    double capacity_mbps() const { return capacity_mbps_; }
+
+    /// Largest switch radix usable at the configured frequency.
+    int max_switch_size() const { return max_sw_size_; }
+
+    /// Existing (i, j) channel of the class with room for `bw`; -1 when
+    /// none (a fresh physical link would have to be opened).
+    int usable_link(int i, int j, int cls, double bw) const;
+
+    /// CHECK_CONSTRAINTS(i, j) of Algorithm 3 combined with the marginal
+    /// power/latency cost of moving `f` over switch link (i, j); kInfCost
+    /// when a hard constraint forbids the hop.
+    double edge_cost(int i, int j, const Flow& f) const;
+
+    /// Account a newly opened physical channel `link_id` from switch `i`
+    /// to switch `j` of message class `cls`.
+    void note_link_opened(int link_id, int i, int j, int cls);
+
+  private:
+    std::size_t cell(int i, int j) const {
+        return static_cast<std::size_t>(i) * nsw_ + j;
+    }
+    double compute_soft_inf() const;
+
+    const Topology& topo_;
+    const DesignSpec& spec_;
+    const SynthesisConfig& cfg_;
+    double capacity_mbps_ = 0.0;
+    int max_sw_size_ = 0;
+    double soft_inf_ = 0.0;
+    int num_layers_ = 1;
+
+    int nsw_ = 0;
+    std::vector<std::vector<int>> sw_links_[2];  ///< channels per (i,j), class
+    std::vector<int> in_deg_;
+    std::vector<int> out_deg_;
+    std::vector<int> ill_;  ///< crossings per adjacent boundary
+};
+
+}  // namespace sunfloor::routing

@@ -1,0 +1,121 @@
+#include "sunfloor/routing/policy.h"
+
+#include <algorithm>
+
+#include "sunfloor/util/enum_names.h"
+
+namespace sunfloor::routing {
+
+namespace {
+
+constexpr EnumName<RoutingPolicyId> kRoutingNames[] = {
+    {RoutingPolicyId::UpDown, "up-down"},
+    {RoutingPolicyId::UpDown, "updown"},  // parse-only alias
+    {RoutingPolicyId::WestFirst, "west-first"},
+    {RoutingPolicyId::WestFirst, "westfirst"},  // parse-only alias
+    {RoutingPolicyId::OddEven, "odd-even"},
+    {RoutingPolicyId::OddEven, "oddeven"},  // parse-only alias
+};
+
+/// Two-phase disciplines over a strict total switch order: phase 0 moves
+/// in the discipline's first direction (with the single turn into phase 1
+/// allowed at any hop), phase 1 only in the second. Since `rank` is
+/// injective over switch indices, phase-0 hops strictly increase it and
+/// phase-1 hops strictly decrease it (or vice versa), which is what makes
+/// every admissible path set channel-dependency acyclic.
+class OrderedTwoPhasePolicy : public RoutingPolicy {
+  public:
+    int num_states() const final { return 2; }
+    int initial_state() const final { return 0; }
+
+    int next_state(const SwitchView& u, const SwitchView& v,
+                   int state) const final {
+        const bool first_dir =
+            ascending_first() ? rank(v) > rank(u) : rank(v) < rank(u);
+        if (state == 0) return first_dir ? 0 : 1;  // may turn once
+        return first_dir ? -1 : 1;                 // turning back is forbidden
+    }
+
+  protected:
+    /// Strict total order over switches (must be injective in the index).
+    virtual long long rank(const SwitchView& s) const = 0;
+    /// Phase 0 ascends (true) or descends (false) in that order.
+    virtual bool ascending_first() const = 0;
+};
+
+class UpDownPolicy final : public OrderedTwoPhasePolicy {
+  public:
+    RoutingPolicyId id() const override { return RoutingPolicyId::UpDown; }
+    bool adaptive_in_sim() const override { return false; }
+
+  protected:
+    long long rank(const SwitchView& s) const override { return s.index; }
+    bool ascending_first() const override { return true; }
+};
+
+class WestFirstPolicy final : public OrderedTwoPhasePolicy {
+  public:
+    RoutingPolicyId id() const override { return RoutingPolicyId::WestFirst; }
+    bool adaptive_in_sim() const override { return true; }
+
+  protected:
+    long long rank(const SwitchView& s) const override { return s.index; }
+    bool ascending_first() const override { return false; }  // west first
+};
+
+class OddEvenPolicy final : public OrderedTwoPhasePolicy {
+  public:
+    RoutingPolicyId id() const override { return RoutingPolicyId::OddEven; }
+    bool adaptive_in_sim() const override { return true; }
+
+  protected:
+    long long rank(const SwitchView& s) const override {
+        // Parity-interleaved order: every even-index switch below every
+        // odd-index one, each group ascending. Which turns are admissible
+        // at a switch therefore depends on its parity.
+        return (static_cast<long long>(s.index & 1) << 32) + s.index;
+    }
+    bool ascending_first() const override { return true; }
+};
+
+}  // namespace
+
+const char* routing_to_string(RoutingPolicyId id) {
+    return enum_to_string<RoutingPolicyId>(kRoutingNames, id, "up-down");
+}
+
+bool routing_from_string(const std::string& s, RoutingPolicyId& out) {
+    return enum_from_string<RoutingPolicyId>(kRoutingNames, s, out);
+}
+
+std::string routing_choices() {
+    return enum_choices<RoutingPolicyId>(kRoutingNames);
+}
+
+std::vector<int> RoutingPolicy::schedule_flows(const CommSpec& comm) const {
+    // Decreasing bandwidth order (heaviest flows get the cheapest,
+    // shortest routes; this is the ordering of [16]).
+    std::vector<int> order(static_cast<std::size_t>(comm.num_flows()));
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const double ba = comm.flow(a).bw_mbps;
+        const double bb = comm.flow(b).bw_mbps;
+        return ba != bb ? ba > bb : a < b;
+    });
+    return order;
+}
+
+const RoutingPolicy& routing_policy(RoutingPolicyId id) {
+    static const UpDownPolicy up_down;
+    static const WestFirstPolicy west_first;
+    static const OddEvenPolicy odd_even;
+    switch (id) {
+        case RoutingPolicyId::WestFirst: return west_first;
+        case RoutingPolicyId::OddEven: return odd_even;
+        case RoutingPolicyId::UpDown: break;
+    }
+    return up_down;
+}
+
+}  // namespace sunfloor::routing

@@ -1,0 +1,106 @@
+// Admissible route sets of a routed topology under one RoutingPolicy.
+//
+// The path computation bakes exactly one path per flow, but a policy's
+// discipline admits a whole *set* of paths between a flow's source and
+// destination switches. RouteSets enumerates, per flow and per
+// (switch, automaton-state) product node, every admissible next link that
+// can still reach the flow's destination switch over links of the flow's
+// message class — the menu the simulator's adaptive output selection
+// chooses from each cycle (credit-aware, deterministic tie-break; see
+// sim/simulator.h). The baked path is always contained in its flow's
+// route set (the build verifies this), so an adaptive packet can never be
+// stranded; and because every shipped policy's product graph is acyclic
+// (two-phase disciplines over a strict total order), adaptive packets can
+// never livelock either.
+//
+// Deadlock verification of the *enlarged* set: build_route_set_cdg()
+// projects every admissible consecutive-link pair of every flow into a
+// channel dependency graph over physical links — the generalization of
+// noc/deadlock.h's build_cdg() from baked paths to route sets — and
+// build_extended_route_set_cdg() adds the request->response coupling
+// edges of build_extended_cdg(). Property tests check these stay acyclic
+// on every benchmark for every policy, so adaptive in-network choices are
+// covered by the same Dally/Seitz argument as the baked paths.
+#pragma once
+
+#include <vector>
+
+#include "sunfloor/graph/digraph.h"
+#include "sunfloor/noc/topology.h"
+#include "sunfloor/routing/policy.h"
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor::routing {
+
+/// One admissible hop: take `link`, continue in `next_state`.
+struct RouteOption {
+    int link = -1;
+    int next_state = 0;
+};
+
+class RouteSets {
+  public:
+    int num_states() const { return num_states_; }
+    int initial_state() const { return initial_state_; }
+
+    /// Whether the policy that built this set allows per-hop selection in
+    /// the simulator (RoutingPolicy::adaptive_in_sim).
+    bool adaptive() const { return adaptive_; }
+
+    /// Admissible outgoing links of `flow` at (switch, state), sorted by
+    /// link id. At the flow's destination switch this is exactly the final
+    /// ejection link; empty for unrouted flows or unreachable states.
+    const std::vector<RouteOption>& options(int flow, int sw,
+                                            int state) const;
+
+    /// The baked path's next link out of (switch, state), or -1 when the
+    /// computed path does not pass through that product node. Used as the
+    /// simulator's tie-break so adaptive selection follows the
+    /// power-optimal baked path until contention forces a deviation.
+    int baked_next(int flow, int sw, int state) const;
+
+    /// The first (core->switch) link of `flow`; -1 for unrouted flows.
+    int first_link(int flow) const {
+        return firsts_.at(static_cast<std::size_t>(flow));
+    }
+
+  private:
+    friend RouteSets build_route_sets(const Topology& topo,
+                                      const DesignSpec& spec,
+                                      const RoutingPolicy& policy);
+
+    std::size_t node(int sw, int state) const {
+        return static_cast<std::size_t>(sw) * num_states_ + state;
+    }
+
+    int num_states_ = 1;
+    int initial_state_ = 0;
+    bool adaptive_ = false;
+    /// options_[flow][sw * num_states_ + state]
+    std::vector<std::vector<std::vector<RouteOption>>> options_;
+    /// baked_[flow][sw * num_states_ + state] = link id or -1
+    std::vector<std::vector<int>> baked_;
+    std::vector<int> firsts_;
+};
+
+/// Enumerate the admissible route set of every routed flow of `topo`
+/// under `policy`. Throws std::logic_error if a flow's baked path is not
+/// contained in its own route set (a policy impurity — e.g. a discipline
+/// reading mutable switch attributes).
+RouteSets build_route_sets(const Topology& topo, const DesignSpec& spec,
+                           const RoutingPolicy& policy);
+
+/// CDG (vertices = physical link ids) over every admissible
+/// consecutive-link pair of every flow's route set — build_cdg() widened
+/// from the baked paths to the full adaptive menu.
+Digraph build_route_set_cdg(const Topology& topo, const DesignSpec& spec,
+                            const RouteSets& routes);
+
+/// build_route_set_cdg plus the request->response coupling edges of
+/// build_extended_cdg (the last link of each request path depends on the
+/// first link of every response path leaving the request's destination).
+Digraph build_extended_route_set_cdg(const Topology& topo,
+                                     const DesignSpec& spec,
+                                     const RouteSets& routes);
+
+}  // namespace sunfloor::routing

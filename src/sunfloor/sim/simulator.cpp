@@ -3,18 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <stdexcept>
+
+#include "sunfloor/routing/route_sets.h"
 
 namespace sunfloor::sim {
 
 namespace {
 
 /// One flit in the fabric. `hop` indexes the flow's path at the next
-/// link to traverse; it advances when the flit departs on that link.
+/// link to traverse (fixed-path mode only); it advances when the flit
+/// departs on that link. `state` is the routing automaton state of the
+/// packet (adaptive mode, head flits only — bodies follow their head
+/// through the wormhole output allocation).
 struct Flit {
     int flow = -1;
     long long seq = 0;   ///< per-flow packet sequence number
     int hop = 0;
+    int state = 0;
     long long gen = 0;   ///< generation cycle of the packet
     bool head = false;
     bool tail = false;
@@ -31,9 +38,12 @@ struct InFlight {
 /// public counters.
 class Engine {
   public:
+    /// `routes` non-null switches the engine into adaptive per-hop output
+    /// selection within the given route sets; null replays the baked
+    /// flow paths (bit-identical to the pre-policy engine).
     Engine(const Topology& topo, const EvalParams& eval,
-           const SimParams& params)
-        : topo_(topo), depth_(params.buffer_depth_flits) {
+           const SimParams& params, const routing::RouteSets* routes)
+        : topo_(topo), routes_(routes), depth_(params.buffer_depth_flits) {
         if (depth_ < 1)
             throw std::invalid_argument("buffer_depth_flits must be >= 1");
         const int L = topo.num_links();
@@ -64,6 +74,10 @@ class Engine {
                                                             .dst.index)]
                     .push_back(l);
         link_departures_.assign(static_cast<std::size_t>(L), 0);
+        if (routes_) {
+            pref_link_.assign(static_cast<std::size_t>(L), -1);
+            pref_state_.assign(static_cast<std::size_t>(L), 0);
+        }
         packet_seq_.assign(static_cast<std::size_t>(F), 0);
         flow_lat_sum_.assign(static_cast<std::size_t>(F), 0.0);
         flow_lat_count_.assign(static_cast<std::size_t>(F), 0);
@@ -86,6 +100,7 @@ class Engine {
             f.flow = flow;
             f.seq = packet_seq_[static_cast<std::size_t>(flow)];
             f.hop = 0;
+            f.state = routes_ ? routes_->initial_state() : 0;
             f.gen = now;
             f.head = i == 0;
             f.tail = i == length - 1;
@@ -122,6 +137,7 @@ class Engine {
     /// one-cycle credit loop).
     void end_cycle(long long T) {
         decisions_.clear();
+        if (routes_) compute_preferences();
         const int L = topo_.num_links();
         for (int l = 0; l < L; ++l) {
             const auto ul = static_cast<std::size_t>(l);
@@ -143,21 +159,27 @@ class Engine {
                 continue;
             }
             // Free link: round-robin over the switch's input ports for a
-            // head flit routed to this output.
+            // head flit routed to this output. In adaptive mode a head is
+            // routed to its preferred admissible link (computed once per
+            // cycle from the cycle-start state, so no two outputs can
+            // claim the same head).
             const auto& ins =
                 switch_inputs_[static_cast<std::size_t>(src.index)];
             const int n = static_cast<int>(ins.size());
             for (int k = 1; k <= n; ++k) {
                 const int pos = (rr_[ul] + k) % n;
-                const auto& b = buf_[static_cast<std::size_t>(ins[
-                    static_cast<std::size_t>(pos)])];
+                const int in = ins[static_cast<std::size_t>(pos)];
+                const auto& b = buf_[static_cast<std::size_t>(in)];
                 if (b.empty() || !b.front().head) continue;
                 const Flit& f = b.front();
-                if (topo_.flow_path(f.flow)[static_cast<std::size_t>(
-                        f.hop)] != l)
+                if (routes_) {
+                    if (pref_link_[static_cast<std::size_t>(in)] != l)
+                        continue;
+                } else if (topo_.flow_path(f.flow)[static_cast<std::size_t>(
+                               f.hop)] != l) {
                     continue;
-                decisions_.push_back(
-                    {l, ins[static_cast<std::size_t>(pos)], pos});
+                }
+                decisions_.push_back({l, in, pos});
                 break;
             }
         }
@@ -187,6 +209,44 @@ class Engine {
         int rr_pos;    ///< arbiter position of `input`; -1 = not an arb win
     };
 
+    /// Adaptive mode: pick each waiting head flit's preferred output for
+    /// this cycle among its route set's admissible next links. Most free
+    /// downstream credits wins (ejection links count as always free);
+    /// ties prefer the baked path's link, then the smallest link id (the
+    /// options come sorted by id). Links currently allocated to another
+    /// packet or out of credit are not candidates; -1 means the head
+    /// waits. Reads only cycle-start state, so the later per-output
+    /// arbitration sees one consistent preference per input.
+    void compute_preferences() {
+        for (std::size_t in = 0; in < buf_.size(); ++in) {
+            pref_link_[in] = -1;
+            if (buf_[in].empty() || !buf_[in].front().head) continue;
+            const Flit& f = buf_[in].front();
+            const int u = topo_.link(static_cast<int>(in)).dst.index;
+            const int baked = routes_->baked_next(f.flow, u, f.state);
+            int best_credits = 0;
+            bool best_baked = false;
+            for (const routing::RouteOption& o :
+                 routes_->options(f.flow, u, f.state)) {
+                const auto ul = static_cast<std::size_t>(o.link);
+                if (owner_active_[ul]) continue;  // held by another packet
+                int credits = depth_ + 1;         // ejection: always free
+                if (into_switch_[ul]) {
+                    credits = depth_ - occ_[ul];
+                    if (credits <= 0) continue;   // no credit, not a candidate
+                }
+                const bool is_baked = o.link == baked;
+                if (credits > best_credits ||
+                    (credits == best_credits && is_baked && !best_baked)) {
+                    pref_link_[in] = o.link;
+                    pref_state_[in] = o.next_state;
+                    best_credits = credits;
+                    best_baked = is_baked;
+                }
+            }
+        }
+    }
+
     void apply(const Decision& d, long long T, bool in_window) {
         const auto ul = static_cast<std::size_t>(d.link);
         Flit f;
@@ -199,6 +259,9 @@ class Engine {
             f = buf_[in].front();
             buf_[in].pop_front();
             --occ_[in];  // credit returned upstream next cycle
+            // Adaptive: the head's automaton advances with the hop it won
+            // (body flits follow through the output allocation below).
+            if (routes_ && f.head) f.state = pref_state_[in];
             if (owner_active_[ul]) {
                 if (f.tail) owner_active_[ul] = 0;
             } else {
@@ -248,6 +311,7 @@ class Engine {
     }
 
     const Topology& topo_;
+    const routing::RouteSets* routes_;  ///< null = fixed-path mode
     int depth_;
 
     std::vector<int> extra_;          ///< pipeline_stages - 1 per link
@@ -264,6 +328,8 @@ class Engine {
     std::vector<long long> owner_seq_;
     std::vector<int> owner_input_;
     std::vector<int> rr_;             ///< round-robin arbiter state
+    std::vector<int> pref_link_;      ///< adaptive: per-input preference
+    std::vector<int> pref_state_;     ///< ... and the state after taking it
 
     std::vector<long long> packet_seq_;
     std::vector<Decision> decisions_;
@@ -323,7 +389,15 @@ void fill_latency_stats(const Engine& eng, int num_flows, SimReport& rep) {
 SimReport simulate(const Topology& topo, const DesignSpec& spec,
                    const EvalParams& eval, const SimParams& params) {
     validate(topo, params);
-    Engine eng(topo, eval, params);
+    // Adaptive policies select outputs within their verified route sets;
+    // deterministic ones (the default) replay the baked paths through the
+    // null-routes engine, bit-identical to the pre-policy simulator.
+    const routing::RoutingPolicy& policy =
+        routing::routing_policy(params.routing);
+    std::optional<routing::RouteSets> routes;
+    if (policy.adaptive_in_sim())
+        routes.emplace(routing::build_route_sets(topo, spec, policy));
+    Engine eng(topo, eval, params, routes ? &*routes : nullptr);
     InjectionState inj(spec, params.inject, eval);
     Rng rng(params.seed);
 
@@ -384,7 +458,7 @@ SimReport simulate_zero_load(const Topology& topo, const DesignSpec& spec,
     long long head_count = 0;
     for (int f = 0; f < topo.num_flows(); ++f) {
         if (!topo.has_path(f)) continue;
-        Engine eng(topo, eval, params);
+        Engine eng(topo, eval, params, nullptr);
         eng.set_window(0, limit);
         long long T = 0;
         eng.begin_cycle(T);

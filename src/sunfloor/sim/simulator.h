@@ -10,11 +10,20 @@
 //    nodes track free downstream slots as credits (counted at send
 //    time, over buffered plus in-flight flits), so a full buffer
 //    backpressures the sender — nothing is ever dropped.
-//  * Packets are wormhole-switched along the flow's already-computed
-//    path (topo.flow_path): once a head flit wins an output link, the
-//    link is allocated to that packet until its tail passes; competing
-//    heads wait in their input FIFOs. Arbitration is deterministic
-//    round-robin per output link.
+//  * Packets are wormhole-switched: once a head flit wins an output
+//    link, the link is allocated to that packet until its tail passes;
+//    competing heads wait in their input FIFOs. Arbitration is
+//    deterministic round-robin per output link.
+//  * Output selection follows SimParams::routing. Under the default
+//    deterministic policy (up-down) every packet replays its flow's
+//    already-computed path (topo.flow_path) exactly. Under an adaptive
+//    policy (west-first, odd-even) each head flit picks per hop among
+//    the policy's admissible next links (routing/route_sets.h):
+//    the candidate with the most free downstream credits wins, ties
+//    prefer the baked path's link and then the smallest link id — so at
+//    zero load adaptive packets follow the power-optimal baked paths,
+//    and only contention makes them deviate. Selection is a pure
+//    function of the cycle-start state, keeping runs bit-deterministic.
 //  * Timing matches the analytic convention exactly (evaluation.h): a
 //    link traversal costs one cycle when it enters a switch (the switch
 //    traversal) plus pipeline_stages - 1 extra cycles on pipelined long
@@ -39,6 +48,7 @@
 
 #include "sunfloor/noc/evaluation.h"
 #include "sunfloor/noc/topology.h"
+#include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/injection.h"
 #include "sunfloor/spec/parser.h"
 #include "sunfloor/util/rng.h"
@@ -47,6 +57,13 @@ namespace sunfloor::sim {
 
 struct SimParams {
     InjectionParams inject{};
+
+    /// Routing discipline for in-network output selection. Deterministic
+    /// policies replay the baked flow paths (the pre-policy behaviour,
+    /// bit for bit); adaptive ones select per hop within the policy's
+    /// route set. Must match the policy the topology was synthesized
+    /// with, or the route sets may not be deadlock-verified.
+    routing::RoutingPolicyId routing = routing::RoutingPolicyId::UpDown;
 
     /// Per-link downstream FIFO depth (flits).
     int buffer_depth_flits = 4;
@@ -111,8 +128,8 @@ SimReport simulate(const Topology& topo, const DesignSpec& spec,
 /// (flow k starts only after flow k-1 fully drained), through the same
 /// simulation machinery. With packet_length_flits = 1 the reported
 /// flow_avg_latency_cycles equal the analytic flow_latency() exactly.
-/// Unrouted flows report -1; injection rates/traffic shaping are
-/// ignored.
+/// Unrouted flows report -1; injection rates/traffic shaping — and
+/// params.routing: the probe prices the *baked* paths — are ignored.
 SimReport simulate_zero_load(const Topology& topo, const DesignSpec& spec,
                              const EvalParams& eval, SimParams params);
 

@@ -11,6 +11,8 @@
 //   --max-ill <n>             inter-layer link budget    (default 25)
 //   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
 //   --phase <auto|1|2>        synthesis phase            (default auto)
+//   --routing <policy>        routing policy: up-down|west-first|odd-even
+//                             (default up-down, the paper's discipline)
 //   --seed <n>                RNG seed                   (default fixed)
 //   --no-floorplan            skip NoC insertion legalization
 //   --out <prefix>            write <prefix>_topology.dot,
@@ -24,6 +26,7 @@
 //   --width <bits>[,...]      link width axis            (default 32)
 //   --phase <auto|1|2>[,...]  synthesis phase axis       (default auto)
 //   --theta <v>[,...]         fixed-theta axis           (default sweep)
+//   --routing <p>[,...]       routing-policy axis        (default up-down)
 //   --alpha <0..1>            PG bandwidth/latency blend (default 1.0)
 //   --threads <n>             worker threads; 0 = all cores (default 0)
 //   --no-cache                disable the evaluation cache
@@ -37,7 +40,9 @@
 //
 // Simulate options (flit-level simulation of the best synthesized design):
 //   --freq <MHz>              operating point            (default 400)
-//   --max-ill, --alpha, --phase, --seed, --no-floorplan   as above
+//   --max-ill, --alpha, --phase, --routing, --seed, --no-floorplan
+//                             as above; adaptive policies (west-first,
+//                             odd-even) also select outputs per hop
 //   --rate <s>[,<s>...]       injection-scale sweep (default 0.25..1.0)
 //   --traffic <kind>          uniform|bursty|hotspot     (default uniform)
 //   --packet-len <flits>      flits per packet           (default 4)
@@ -57,6 +62,7 @@
 #include "sunfloor/io/dot.h"
 #include "sunfloor/io/floorplan_dump.h"
 #include "sunfloor/io/report.h"
+#include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/simulator.h"
 #include "sunfloor/spec/benchmarks.h"
 #include "sunfloor/util/strings.h"
@@ -69,17 +75,20 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s (--design <file> | --benchmark <name>) "
                  "[--freq MHz[,MHz...]] [--max-ill N] [--alpha A] "
-                 "[--phase auto|1|2] [--seed N] [--no-floorplan] "
+                 "[--phase auto|1|2] [--routing up-down|west-first|odd-even] "
+                 "[--seed N] [--no-floorplan] "
                  "[--out prefix] [--list-benchmarks]\n"
                  "       %s explore (--design <file> | --benchmark <name>) "
                  "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
-                 "[--phase auto|1|2[,...]] [--theta V[,...]] [--alpha A] "
+                 "[--phase auto|1|2[,...]] [--theta V[,...]] "
+                 "[--routing P[,...]] [--alpha A] "
                  "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
                  "[--no-stage-reuse] [--backend analytic|sim] [--rate S] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
                  "[--out prefix]\n"
                  "       %s simulate (--design <file> | --benchmark <name>) "
                  "[--freq MHz] [--max-ill N] [--alpha A] [--phase auto|1|2] "
+                 "[--routing up-down|west-first|odd-even] "
                  "[--seed N] [--no-floorplan] [--rate S[,S...]] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
                  "[--buffers N] [--warmup N] [--measure N] [--out prefix]\n",
@@ -215,6 +224,18 @@ int run_explore(int argc, char** argv) {
             std::vector<double> thetas;
             if (!v || !parse_double_list(v, thetas)) return usage(argv[0]);
             grid.set_axis(ParamAxis::thetas(thetas));
+        } else if (arg == "--routing") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            std::vector<routing::RoutingPolicyId> policies;
+            for (const auto& part : split(v, ',')) {
+                routing::RoutingPolicyId p;
+                if (!routing::routing_from_string(part, p))
+                    return bad_enum_value("--routing", part.c_str(),
+                                          routing::routing_choices());
+                policies.push_back(p);
+            }
+            grid.set_axis(ParamAxis::routing_policies(policies));
         } else if (arg == "--alpha") {
             const char* v = next();
             if (!v || !parse_double(v, cfg.alpha)) return usage(argv[0]);
@@ -413,6 +434,12 @@ int run_simulate(int argc, char** argv) {
             if (!v) return usage(argv[0]);
             if (!phase_from_string(v, phase))
                 return bad_enum_value("--phase", v, phase_choices());
+        } else if (arg == "--routing") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            if (!routing::routing_from_string(v, cfg.routing))
+                return bad_enum_value("--routing", v,
+                                      routing::routing_choices());
         } else if (arg == "--seed") {
             const char* v = next();
             int seed = 0;
@@ -461,6 +488,7 @@ int run_simulate(int argc, char** argv) {
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
     cfg.eval.freq_hz = freq_mhz * 1e6;
+    sp.routing = cfg.routing;  // measure under the synthesis discipline
     std::printf("design '%s': %d cores, %d layers, %d flows\n",
                 spec.name.c_str(), spec.cores.num_cores(),
                 spec.cores.num_layers(), spec.comm.num_flows());
@@ -476,9 +504,10 @@ int run_simulate(int argc, char** argv) {
                 "zero-load %.2f cycles, at %.0f MHz\n",
                 dp.switch_count, dp.report.power.total_mw(),
                 dp.report.avg_latency_cycles, freq_mhz);
-    std::printf("traffic %s, %d-flit packets, %d-flit buffers, "
+    std::printf("traffic %s, routing %s, %d-flit packets, %d-flit buffers, "
                 "%lld warmup + %lld measured cycles\n\n",
                 sim::traffic_to_string(sp.inject.traffic),
+                routing::routing_to_string(sp.routing),
                 sp.inject.packet_length_flits, sp.buffer_depth_flits,
                 sp.warmup_cycles, sp.measure_cycles);
 
@@ -547,6 +576,12 @@ int run_synthesize(int argc, char** argv) {
             if (!v) return usage(argv[0]);
             if (!phase_from_string(v, phase))
                 return bad_enum_value("--phase", v, phase_choices());
+        } else if (arg == "--routing") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            if (!routing::routing_from_string(v, cfg.routing))
+                return bad_enum_value("--routing", v,
+                                      routing::routing_choices());
         } else if (arg == "--seed") {
             const char* v = next();
             int seed = 0;

@@ -142,5 +142,80 @@ TEST(Deadlock, UnroutedFlowsIgnored) {
     EXPECT_TRUE(is_message_dependent_deadlock_free(t, spec.comm));
 }
 
+// --- negative cases: every check must actually fire ---------------------
+
+TEST(Deadlock, SeededCdgCycleIsCaughtByEveryGraph) {
+    // Hand-seed the classic cyclic dependency (each flow holds one ring
+    // link while waiting for the next): the plain CDG, the per-class CDG
+    // and the extended CDG must all contain the cycle, and the
+    // deadlock-freedom predicates must say no.
+    DesignSpec spec;
+    spec.cores = ring_spec().cores;
+    for (int i = 0; i < 4; ++i)
+        spec.comm.add_flow({i, (i + 2) % 4, 10, 0, FlowType::Request});
+    const auto t = ring_topology(spec, true);
+    EXPECT_TRUE(has_cycle(build_cdg(t)));
+    EXPECT_TRUE(has_cycle(build_class_cdg(t, FlowType::Request)));
+    EXPECT_TRUE(has_cycle(build_extended_cdg(t, spec.comm)));
+    EXPECT_FALSE(is_routing_deadlock_free(t));
+    EXPECT_FALSE(is_message_dependent_deadlock_free(t, spec.comm));
+    // The cycle lives entirely in the request class; separation holds.
+    EXPECT_TRUE(classes_are_separated(t, spec.comm));
+}
+
+TEST(Deadlock, MixedClassLinksCoupleRequestsAndResponses) {
+    // Responses routed over request-class channels: the per-path CDG
+    // stays acyclic (the two directions never chain), but class
+    // separation is violated and the request->response coupling closes a
+    // cycle through the shared channels — exactly the failure mode the
+    // extended CDG exists to catch.
+    DesignSpec spec;
+    for (int i = 0; i < 2; ++i) {
+        Core c;
+        c.name = "m" + std::to_string(i);
+        c.width = 1;
+        c.height = 1;
+        spec.cores.add_core(c);
+    }
+    spec.comm.add_flow({0, 1, 10, 0, FlowType::Request});   // f0
+    spec.comm.add_flow({1, 0, 10, 0, FlowType::Response});  // f1 (misrouted)
+    spec.comm.add_flow({1, 0, 10, 0, FlowType::Request});   // f2
+    spec.comm.add_flow({0, 1, 10, 0, FlowType::Response});  // f3 (misrouted)
+    Topology t(spec.cores, 4);
+    const int s0 = t.add_switch("s0", 0);
+    const int s1 = t.add_switch("s1", 0);
+    // Request-class channels only — both directions.
+    const int c0s0 = t.add_link(NodeRef::core(0), NodeRef::sw(s0));
+    const int f01 = t.add_link(NodeRef::sw(s0), NodeRef::sw(s1));
+    const int s1c1 = t.add_link(NodeRef::sw(s1), NodeRef::core(1));
+    const int c1s1 = t.add_link(NodeRef::core(1), NodeRef::sw(s1));
+    const int f10 = t.add_link(NodeRef::sw(s1), NodeRef::sw(s0));
+    const int s0c0 = t.add_link(NodeRef::sw(s0), NodeRef::core(0));
+    t.set_flow_path(0, spec.comm.flow(0), {c0s0, f01, s1c1});
+    // Route the responses over the request links by lying to
+    // set_flow_path about their class (the misconfiguration under test —
+    // a correct flow would use disjoint response channels).
+    Flow resp10 = spec.comm.flow(1);
+    resp10.type = FlowType::Request;
+    t.set_flow_path(1, resp10, {c1s1, f10, s0c0});
+    t.set_flow_path(2, spec.comm.flow(2), {c1s1, f10, s0c0});
+    Flow resp01 = spec.comm.flow(3);
+    resp01.type = FlowType::Request;
+    t.set_flow_path(3, resp01, {c0s0, f01, s1c1});
+
+    // Paths alone: no cycle (the two directions never chain).
+    EXPECT_TRUE(is_routing_deadlock_free(t));
+    // Separation check fires on the misrouted responses.
+    EXPECT_FALSE(classes_are_separated(t, spec.comm));
+    // Extended CDG closes the loop: f0 couples into the responses leaving
+    // core 1, which share channels with f2, which couples into the
+    // responses leaving core 0, which share channels with f0.
+    const Digraph ext = build_extended_cdg(t, spec.comm);
+    EXPECT_TRUE(ext.find_edge(s1c1, c1s1).has_value());
+    EXPECT_TRUE(ext.find_edge(s0c0, c0s0).has_value());
+    EXPECT_TRUE(has_cycle(ext));
+    EXPECT_FALSE(is_message_dependent_deadlock_free(t, spec.comm));
+}
+
 }  // namespace
 }  // namespace sunfloor

@@ -1,10 +1,12 @@
-// The unified enum<->string codec and the three tables built on it
-// (synthesis phase, evaluation backend, sim traffic pattern): canonical
-// round-trips, case-insensitive parsing, aliases and choices strings.
+// The unified enum<->string codec and the four tables built on it
+// (synthesis phase, evaluation backend, sim traffic pattern, routing
+// policy): canonical round-trips, case-insensitive parsing, aliases and
+// choices strings.
 #include <gtest/gtest.h>
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/explore/explorer.h"
+#include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/injection.h"
 #include "sunfloor/util/enum_names.h"
 
@@ -90,6 +92,34 @@ TEST(EnumNames, TrafficTable) {
     EXPECT_FALSE(sim::traffic_from_string("random", t));
     EXPECT_STREQ(sim::traffic_to_string(sim::Traffic::Uniform), "uniform");
     EXPECT_EQ(sim::traffic_choices(), "uniform|bursty|hotspot");
+}
+
+TEST(EnumNames, RoutingTable) {
+    using routing::RoutingPolicyId;
+    RoutingPolicyId r = RoutingPolicyId::UpDown;
+    EXPECT_TRUE(routing::routing_from_string("West-First", r));
+    EXPECT_EQ(r, RoutingPolicyId::WestFirst);
+    EXPECT_TRUE(routing::routing_from_string("ODDEVEN", r));  // alias
+    EXPECT_EQ(r, RoutingPolicyId::OddEven);
+    EXPECT_TRUE(routing::routing_from_string("updown", r));  // alias
+    EXPECT_EQ(r, RoutingPolicyId::UpDown);
+    EXPECT_FALSE(routing::routing_from_string("xy", r));
+    EXPECT_STREQ(routing::routing_to_string(RoutingPolicyId::OddEven),
+                 "odd-even");
+    EXPECT_EQ(routing::routing_choices(), "up-down|west-first|odd-even");
+    for (RoutingPolicyId v :
+         {RoutingPolicyId::UpDown, RoutingPolicyId::WestFirst,
+          RoutingPolicyId::OddEven}) {
+        RoutingPolicyId back = RoutingPolicyId::UpDown;
+        EXPECT_TRUE(
+            routing::routing_from_string(routing::routing_to_string(v), back));
+        EXPECT_EQ(back, v);
+        // The singleton registry serves the matching policy under its
+        // canonical name.
+        EXPECT_EQ(routing::routing_policy(v).id(), v);
+        EXPECT_STREQ(routing::routing_policy(v).name(),
+                     routing::routing_to_string(v));
+    }
 }
 
 }  // namespace

@@ -171,10 +171,10 @@ TEST(ExploreSim, TableCarriesSimLatencyColumn) {
     const ExploreResult res =
         Explorer(spec, fast_cfg(), sim_opts(2)).run(small_grid());
     const Table t = explore_table(res);
-    ASSERT_EQ(t.columns()[10], "sim_latency_cycles");
+    ASSERT_EQ(t.columns()[11], "sim_latency_cycles");
     bool any_simulated = false;
     for (std::size_t r = 0; r < t.num_rows(); ++r) {
-        const double v = std::get<double>(t.row(r)[10]);
+        const double v = std::get<double>(t.row(r)[11]);
         if (v >= 0.0) any_simulated = true;
     }
     EXPECT_TRUE(any_simulated);

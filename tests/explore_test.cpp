@@ -242,7 +242,7 @@ TEST(ExploreExport, TableHasOneRowPerDesign) {
 
     const Table t = explore_table(res);
     EXPECT_EQ(t.num_rows(), static_cast<std::size_t>(res.stats.total_designs));
-    EXPECT_EQ(t.num_cols(), 16u);
+    EXPECT_EQ(t.num_cols(), 17u);
     std::ostringstream os;
     t.write_csv(os);
     EXPECT_NE(os.str().find("freq_mhz"), std::string::npos);

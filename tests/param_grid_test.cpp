@@ -154,5 +154,49 @@ TEST(GridPoint, LabelMentionsParameters) {
     EXPECT_NE(label.find("theta=4"), std::string::npos);
 }
 
+TEST(ParamGrid, RoutingAxisEnumeratesPolicies) {
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({300e6, 400e6}));
+    grid.set_axis(ParamAxis::routing_policies(
+        {routing::RoutingPolicyId::UpDown,
+         routing::RoutingPolicyId::WestFirst,
+         routing::RoutingPolicyId::OddEven}));
+    EXPECT_EQ(grid.cartesian_size(), 6u);
+    const auto points = grid.enumerate();
+    ASSERT_EQ(points.size(), 6u);
+    // Routing is the innermost axis.
+    EXPECT_EQ(points[0].routing, routing::RoutingPolicyId::UpDown);
+    EXPECT_EQ(points[1].routing, routing::RoutingPolicyId::WestFirst);
+    EXPECT_EQ(points[2].routing, routing::RoutingPolicyId::OddEven);
+    EXPECT_DOUBLE_EQ(points[2].freq_hz, 300e6);
+    EXPECT_DOUBLE_EQ(points[3].freq_hz, 400e6);
+}
+
+TEST(ParamGrid, RoutingAxisRejectsBadValue) {
+    ParamGrid grid;
+    ParamAxis bad{ParamKind::Routing, {7.0}};
+    EXPECT_THROW(grid.set_axis(bad), std::invalid_argument);
+}
+
+TEST(GridPoint, RoutingInKeyConfigAndLabel) {
+    GridPoint a;
+    GridPoint b;
+    b.routing = routing::RoutingPolicyId::WestFirst;
+    // Non-default policies extend the identity; default points keep the
+    // pre-policy key (and therefore their derived seeds).
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_EQ(a.key().find("rp="), std::string::npos);
+    EXPECT_NE(b.key().find("rp=west-first"), std::string::npos);
+    // The partition stage never consumes the policy: synthesis seeds and
+    // partition artifacts stay shared across the routing axis.
+    EXPECT_EQ(a.partition_key(), b.partition_key());
+    EXPECT_EQ(a.apply(SynthesisConfig{}).routing,
+              routing::RoutingPolicyId::UpDown);
+    EXPECT_EQ(b.apply(SynthesisConfig{}).routing,
+              routing::RoutingPolicyId::WestFirst);
+    EXPECT_EQ(a.label().find("routing="), std::string::npos);
+    EXPECT_NE(b.label().find("routing=west-first"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sunfloor

@@ -255,6 +255,16 @@ TEST(Pipeline, StageKeysSeparateConsumedFields) {
     EXPECT_NE(pipeline::routing_cfg_key(a), pipeline::routing_cfg_key(b));
     EXPECT_EQ(pipeline::partition_cfg_key(a, a.partition),
               pipeline::partition_cfg_key(b, b.partition));
+    // The routing policy is a routing-stage field only: a session caches
+    // one routing artifact per discipline, while partition artifacts are
+    // shared across the routing axis.
+    b = a;
+    b.routing = routing::RoutingPolicyId::OddEven;
+    EXPECT_NE(pipeline::routing_cfg_key(a), pipeline::routing_cfg_key(b));
+    EXPECT_EQ(pipeline::partition_cfg_key(a, a.partition),
+              pipeline::partition_cfg_key(b, b.partition));
+    EXPECT_EQ(pipeline::eval_cfg_key(a), pipeline::eval_cfg_key(b));
+    EXPECT_EQ(pipeline::placement_cfg_key(a), pipeline::placement_cfg_key(b));
     // The placement key only sees the floorplan side of the config.
     b = a;
     b.run_floorplan = !a.run_floorplan;
