@@ -1,0 +1,103 @@
+// Scaling of the parametric spec generators and of family sweeps.
+//
+// BM_specgen measures raw generation throughput (specs/second) per
+// family across core counts — generators must stay cheap enough that a
+// fleet-style sweep is dominated by synthesis, not by producing inputs.
+// BM_specgen_family_sweep runs a small pipeline family through the
+// explore engine end to end (generate -> synthesize grid -> Pareto) at 1
+// and 4 worker threads. run_benches.sh distills both into the `specgen`
+// section of BENCH_explore.json.
+#include <benchmark/benchmark.h>
+
+#include "sunfloor/explore/family_sweep.h"
+
+using namespace sunfloor;
+
+namespace {
+
+specgen::GenParams family_params(int family, int cores) {
+    specgen::GenParams p;
+    p.family = static_cast<specgen::GenFamily>(family);
+    p.num_cores = cores;
+    p.bw_skew = 1.0;
+    return p;
+}
+
+// Args: (family, num_cores). One full generation per iteration, a fresh
+// seed each time so caching can't hide work.
+void BM_specgen(benchmark::State& state) {
+    const specgen::GenParams p = family_params(
+        static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+    std::uint64_t seed = 1;
+    long long flows = 0;
+    for (auto _ : state) {
+        const DesignSpec spec = specgen::generate(p, seed++);
+        flows += spec.comm.num_flows();
+        benchmark::DoNotOptimize(spec.comm.num_flows());
+    }
+    state.SetLabel(specgen::family_to_string(p.family));
+    state.SetItemsProcessed(state.iterations());
+    state.counters["specs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+    state.counters["flows"] = static_cast<double>(
+        flows / state.iterations());
+}
+
+void specgen_args(benchmark::internal::Benchmark* b) {
+    for (int family = 0; family < 3; ++family)
+        for (int cores : {16, 64, 256}) b->Args({family, cores});
+}
+BENCHMARK(BM_specgen)->Apply(specgen_args)->Unit(benchmark::kMicrosecond);
+
+// Arg: worker threads. Four generated pipeline members through a 2x2
+// architectural grid each — the fleet-sweep shape, kept small enough for
+// the CI bench-smoke job.
+void BM_specgen_family_sweep(benchmark::State& state) {
+    const specgen::GenParams gen = family_params(0, 12);
+    SynthesisConfig cfg;
+    cfg.run_floorplan = false;
+    cfg.max_switches = 5;
+
+    ParamGrid grid;
+    grid.set_axis(ParamAxis::frequencies_hz({400e6, 500e6}));
+    grid.set_axis(ParamAxis::max_tsvs({15, 25}));
+
+    ExploreOptions opts;
+    opts.num_threads = static_cast<int>(state.range(0));
+
+    const auto seeds = family_seeds(1, 4);
+    long long valid = 0;
+    long long members = 0;
+    for (auto _ : state) {
+        const FamilySweepResult res =
+            explore_generated_family(gen, seeds, cfg, grid, opts);
+        valid += res.total_valid_designs;
+        members += static_cast<long long>(res.members.size());
+        benchmark::DoNotOptimize(res.total_pareto_designs);
+    }
+    state.SetItemsProcessed(members);
+    state.counters["members_per_sec"] = benchmark::Counter(
+        static_cast<double>(members), benchmark::Counter::kIsRate);
+    state.counters["valid_designs"] =
+        static_cast<double>(valid / state.iterations());
+}
+BENCHMARK(BM_specgen_family_sweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Banner on stderr: run_benches.sh parses this bench's stdout as JSON.
+    std::fprintf(stderr,
+                 "Spec generator scaling (3 families x core counts) and "
+                 "generated-family sweep throughput.\n"
+                 "expect: generation stays in the tens of microseconds — "
+                 "family sweeps are synthesis-bound, not generator-bound.\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

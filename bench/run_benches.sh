@@ -4,6 +4,9 @@
 #     count, speedup vs 1 thread, the pipeline stage-reuse win on a
 #     frequency x link-width grid, and the per-routing-policy sweep cost
 #     on a frequency x TSV grid)
+#   bench_specgen         -> the `specgen` section of BENCH_explore.json
+#     (spec-generation throughput per family/core count, and generated-
+#     family sweep throughput at 1 and 4 threads)
 #   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
 #     curves per paper benchmark)
 # Extra arguments are passed through to both bench binaries
@@ -109,6 +112,58 @@ with open(sys.argv[2], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 print(json.dumps(out, indent=2))
+EOF
+
+# ------------------------------------------------------ specgen scaling
+# Merged into the explore JSON as its `specgen` section (one file tracks
+# the whole exploration trajectory).
+"$BUILD_DIR/bench_specgen" --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@" > "$RAW"
+
+python3 - "$RAW" "$OUT_EXPLORE" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+generate = {}
+sweep = {}
+for b in raw.get("benchmarks", []):
+    # Names look like BM_specgen/0/64 (family, cores; label carries the
+    # family name) and BM_specgen_family_sweep/4/... . Skip aggregate
+    # rows, average repetitions, as the other parsers do.
+    if "aggregate_name" in b:
+        continue
+    parts = b["name"].split("/")
+    if parts[0] == "BM_specgen":
+        key = f'{b.get("label", parts[1])}_{parts[2]}_cores'
+        generate.setdefault(key, []).append(b)
+    elif parts[0] == "BM_specgen_family_sweep":
+        sweep.setdefault(f"{parts[1]}_threads", []).append(b)
+
+def distill(rows, fields):
+    # fields: {json_key: bench_counter}; real_time keeps the bench's
+    # declared unit (us for BM_specgen, ms for the sweep).
+    out = {}
+    for key, bs in sorted(rows.items()):
+        n = len(bs)
+        out[key] = {dst: round(sum(b.get(src, 0.0) for b in bs) / n, 4)
+                    for dst, src in fields.items()}
+        out[key]["repetitions"] = n
+    return out
+
+section = {
+    "generate": distill(generate, {"real_time_us": "real_time",
+                                   "specs_per_sec": "specs_per_sec",
+                                   "flows": "flows"}),
+    "family_sweep": distill(sweep, {"real_time_ms": "real_time",
+                                    "members_per_sec": "members_per_sec",
+                                    "valid_designs": "valid_designs"}),
+}
+out = json.load(open(sys.argv[2]))
+out["specgen"] = section
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps({"specgen": section}, indent=2))
 EOF
 
 # ------------------------------------------------------ sim throughput

@@ -1,0 +1,57 @@
+#include "sunfloor/explore/family_sweep.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace sunfloor {
+
+std::vector<std::uint64_t> family_seeds(std::uint64_t base, int count) {
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+    for (int i = 0; i < count; ++i)
+        seeds.push_back(base + static_cast<std::uint64_t>(i));
+    return seeds;
+}
+
+FamilySweepResult explore_generated_family(
+    const specgen::GenParams& gen, const std::vector<std::uint64_t>& seeds,
+    const SynthesisConfig& base_cfg, const ParamGrid& grid,
+    const ExploreOptions& opts) {
+    gen.validate();
+    if (seeds.empty())
+        throw std::invalid_argument(
+            "explore_generated_family: empty seed list");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    FamilySweepResult out;
+    out.params = gen;
+    out.members.reserve(seeds.size());
+    for (std::uint64_t seed : seeds) {
+        FamilyMemberResult m;
+        m.spec_seed = seed;
+        DesignSpec spec = specgen::generate(gen, seed);
+        m.spec_name = spec.name;
+        m.num_cores = spec.cores.num_cores();
+        m.num_flows = spec.comm.num_flows();
+
+        // Independent per-member seeding: mixing the spec seed (not the
+        // member's index in this call) keeps a member's results identical
+        // whether it is explored alone or as part of any seed list.
+        ExploreOptions member_opts = opts;
+        member_opts.base_seed =
+            splitmix64(opts.base_seed ^ splitmix64(seed));
+        const Explorer explorer(std::move(spec), base_cfg, member_opts);
+        m.result = explorer.run(grid);
+
+        if (m.result.stats.valid_designs > 0) ++out.feasible_members;
+        out.total_valid_designs += m.result.stats.valid_designs;
+        out.total_pareto_designs += m.result.stats.pareto_size;
+        out.members.push_back(std::move(m));
+    }
+    out.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return out;
+}
+
+}  // namespace sunfloor

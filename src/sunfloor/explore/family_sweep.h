@@ -1,0 +1,60 @@
+// Fleet-style exploration over *generated* spec families.
+//
+// The Explorer sweeps architectural parameters over ONE DesignSpec; this
+// layer sweeps the same ParamGrid over every member of a specgen family —
+// the scenario-diversity axis the ROADMAP asks for. Each member is
+// generated deterministically from (GenParams, seed), explored with its
+// own Explorer (own staged-pipeline session — artifacts never alias
+// across different specs), and the per-member fronts are reported side by
+// side with aggregate feasibility counts.
+//
+// Determinism: member i's exploration uses a base seed derived from
+// (opts.base_seed, spec seed) — never from the member's position in a
+// work queue — and Explorer::run is bit-identical across thread counts,
+// so the whole sweep is too (property-tested in specgen_test.cpp).
+// Members run sequentially; the configured thread pool parallelizes
+// within each member's grid, which keeps memory bounded at one session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sunfloor/explore/explorer.h"
+#include "sunfloor/specgen/specgen.h"
+
+namespace sunfloor {
+
+/// The conventional seed list of a family sweep: base, base+1, ...
+/// (generate() remixes internally, so consecutive seeds give independent
+/// members).
+std::vector<std::uint64_t> family_seeds(std::uint64_t base, int count);
+
+/// One generated member's exploration.
+struct FamilyMemberResult {
+    std::uint64_t spec_seed = 0;
+    std::string spec_name;
+    int num_cores = 0;
+    int num_flows = 0;
+    ExploreResult result;
+};
+
+struct FamilySweepResult {
+    specgen::GenParams params;
+    std::vector<FamilyMemberResult> members;  ///< in seed order
+
+    int feasible_members = 0;     ///< members with >= 1 valid design
+    int total_valid_designs = 0;  ///< over all members and grid points
+    int total_pareto_designs = 0; ///< sum of per-member front sizes
+    double elapsed_ms = 0.0;
+};
+
+/// Explore `grid` over every generated member of the family. Throws
+/// std::invalid_argument on invalid GenParams or an empty seed list;
+/// synthesis failures inside a member are *results* (invalid design
+/// points with fail_reason set), not exceptions.
+FamilySweepResult explore_generated_family(
+    const specgen::GenParams& gen, const std::vector<std::uint64_t>& seeds,
+    const SynthesisConfig& base_cfg, const ParamGrid& grid,
+    const ExploreOptions& opts);
+
+}  // namespace sunfloor

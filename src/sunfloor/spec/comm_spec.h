@@ -24,8 +24,8 @@ struct Flow {
 /// All flows of an application.
 class CommSpec {
   public:
-    /// Add a flow; returns its id. Throws on negative bandwidth or
-    /// src == dst.
+    /// Add a flow; returns its id. Throws on non-finite or negative
+    /// bandwidth, non-finite latency constraint, or src == dst.
     int add_flow(Flow flow);
 
     int num_flows() const { return static_cast<int>(flows_.size()); }

@@ -1,11 +1,18 @@
 #include "sunfloor/spec/core_spec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace sunfloor {
 
 int CoreSpec::add_core(Core core) {
+    // `<= 0` is false for NaN, so the size check alone would admit NaN
+    // dimensions (and non-finite positions break every geometry query).
+    if (!std::isfinite(core.width) || !std::isfinite(core.height) ||
+        !std::isfinite(core.position.x) || !std::isfinite(core.position.y))
+        throw std::invalid_argument(
+            "CoreSpec: core geometry must be finite");
     if (core.width <= 0.0 || core.height <= 0.0)
         throw std::invalid_argument("CoreSpec: core size must be positive");
     if (core.layer < 0)

@@ -27,7 +27,7 @@ struct Core {
 class CoreSpec {
   public:
     /// Add a core; returns its id. Throws std::invalid_argument on
-    /// duplicate name or non-positive size.
+    /// duplicate name, non-positive size or non-finite geometry.
     int add_core(Core core);
 
     int num_cores() const { return static_cast<int>(cores_.size()); }

@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <tuple>
 
 #include "sunfloor/util/strings.h"
 
@@ -15,11 +17,19 @@ std::string line_error(int line_no, const std::string& msg) {
     return format("line %d: %s", line_no, msg.c_str());
 }
 
+/// Layers beyond this are almost certainly typos (real 3-D stacks have a
+/// handful); downstream code iterates 0..num_layers, so an unchecked huge
+/// value would turn one bad digit into minutes of spinning.
+constexpr int kMaxLayer = 1023;
+
 }  // namespace
 
 ParseResult parse_design(std::istream& is, const std::string& name) {
     ParseResult result;
     result.spec.name = name;
+    // (src, dst, type) of every flow line seen, for duplicate detection
+    // with an error that names *both* lines involved.
+    std::map<std::tuple<int, int, FlowType>, int> flow_lines;
     std::string line;
     int line_no = 0;
     while (std::getline(is, line)) {
@@ -46,6 +56,12 @@ ParseResult parse_design(std::istream& is, const std::string& name) {
                 result.error = line_error(line_no, "malformed core fields");
                 return result;
             }
+            if (layer > kMaxLayer) {
+                result.error = line_error(
+                    line_no, format("layer %d out of range (0..%d)", layer,
+                                    kMaxLayer));
+                return result;
+            }
             c.layer = layer;
             try {
                 result.spec.cores.add_core(std::move(c));
@@ -64,7 +80,8 @@ ParseResult parse_design(std::istream& is, const std::string& name) {
             f.dst = result.spec.cores.find(tokens[2]);
             if (f.src < 0 || f.dst < 0) {
                 result.error = line_error(
-                    line_no, "flow references undeclared core");
+                    line_no, "flow references undeclared core '" +
+                                 (f.src < 0 ? tokens[1] : tokens[2]) + "'");
                 return result;
             }
             if (!parse_double(tokens[3], f.bw_mbps) ||
@@ -79,6 +96,20 @@ ParseResult parse_design(std::istream& is, const std::string& name) {
             else {
                 result.error =
                     line_error(line_no, "flow type must be req or rsp");
+                return result;
+            }
+            // A repeated (src, dst, type) line is a copy-paste mistake,
+            // not a second traffic class; silently keeping both would
+            // double the pair's bandwidth in the communication graph.
+            const auto [it, inserted] = flow_lines.emplace(
+                std::make_tuple(f.src, f.dst, f.type), line_no);
+            if (!inserted) {
+                result.error = line_error(
+                    line_no,
+                    format("duplicate flow %s -> %s (%s), first declared "
+                           "at line %d",
+                           tokens[1].c_str(), tokens[2].c_str(),
+                           tokens[5].c_str(), it->second));
                 return result;
             }
             try {

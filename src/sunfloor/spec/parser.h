@@ -28,7 +28,9 @@ struct DesignSpec {
     CommSpec comm;
 };
 
-/// Outcome of a parse; on failure `error` names the line and problem.
+/// Outcome of a parse; on failure `error` names the line and problem
+/// (malformed or non-finite numbers, undeclared cores, out-of-range
+/// layers, duplicate core or flow declarations).
 struct ParseResult {
     bool ok = false;
     DesignSpec spec;

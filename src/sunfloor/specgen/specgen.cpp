@@ -1,0 +1,476 @@
+#include "sunfloor/specgen/specgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sunfloor/util/enum_names.h"
+#include "sunfloor/util/rng.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor::specgen {
+
+namespace {
+
+constexpr EnumName<GenFamily> kFamilyNames[] = {
+    {GenFamily::Pipeline, "pipeline"},
+    {GenFamily::Pipeline, "pipe"},  // parse-only alias
+    {GenFamily::HubAndSpoke, "hub"},
+    {GenFamily::HubAndSpoke, "hub-and-spoke"},  // parse-only alias
+    {GenFamily::LayeredDag, "layered-dag"},
+    {GenFamily::LayeredDag, "dag"},  // parse-only alias
+};
+
+/// Short tag for spec names (kept separate from the CLI spellings so
+/// generated core/design names stay compact and dash-free).
+const char* family_tag(GenFamily f) {
+    switch (f) {
+        case GenFamily::Pipeline: return "pipe";
+        case GenFamily::HubAndSpoke: return "hub";
+        case GenFamily::LayeredDag: return "dag";
+    }
+    return "gen";
+}
+
+/// x^(sixteenths/16) for x in (0, 1], sixteenths >= 0, built from
+/// multiplication and sqrt only. Both are IEEE-754 correctly-rounded
+/// operations, so unlike std::pow (whose last-ulp rounding varies between
+/// libms) the result is bit-identical on every conforming platform —
+/// which is what lets generate() promise cross-platform determinism while
+/// still offering a continuous-feeling skew knob.
+double det_pow16(double x, int sixteenths) {
+    double result = 1.0;
+    for (int i = sixteenths / 16; i > 0; --i) result *= x;
+    const int frac = sixteenths % 16;
+    double root = x;
+    for (int bit = 8; bit >= 1; bit >>= 1) {
+        root = std::sqrt(root);  // x^(bit/16)
+        if (frac & bit) result *= root;
+    }
+    return result;
+}
+
+/// Normalize a value through the spec writer's %.6g rendering: the
+/// returned double prints to exactly the same token it parses from, so a
+/// spec built from quantized values round-trips through
+/// write_design/parse_design bit-identically.
+double quantize_6g(double v) {
+    double out = 0.0;
+    if (!parse_double(format("%.6g", v), out))
+        throw std::logic_error("specgen: generated a non-finite value");
+    return out;
+}
+
+/// Gap-free layer assignment: item `i` of `n` onto layer i*L/n with L
+/// clamped to n — contiguous, monotone, and every layer 0..L-1 nonempty.
+int layer_of(int i, int n, int layers) {
+    const int l = std::min(layers, n);
+    return static_cast<int>((static_cast<long long>(i) * l) / n);
+}
+
+/// Row-packed legal placement like assign_positions_rowpack, but with a
+/// small gap between neighbours and every coordinate quantized through
+/// quantize_6g as it accumulates. The gap (10 um) dwarfs the %.6g
+/// rounding error, so abutment can never flip into overlap when the
+/// parsed-back positions differ from the accumulated ones by an ulp.
+void assign_positions_gapped(CoreSpec& cores) {
+    constexpr double kGap = 0.01;
+    const int layers = cores.num_layers();
+    for (int ly = 0; ly < layers; ++ly) {
+        const auto ids = cores.cores_in_layer(ly);
+        double area = 0.0;
+        for (int id : ids) area += cores.core(id).area();
+        const double row_width = std::sqrt(area) * 1.1 + 0.5;
+        double x = 0.0;
+        double y = 0.0;
+        double row_height = 0.0;
+        for (int id : ids) {
+            auto& c = cores.core(id);
+            if (x > 0.0 && x + c.width > row_width) {
+                x = 0.0;
+                y = quantize_6g(y + row_height + kGap);
+                row_height = 0.0;
+            }
+            c.position = {quantize_6g(x), y};
+            x = quantize_6g(c.position.x + c.width + kGap);
+            row_height = std::max(row_height, c.height);
+        }
+    }
+}
+
+struct GenFlow {
+    int src = 0;
+    int dst = 0;
+    FlowType type = FlowType::Request;
+    bool hub_flow = false;  ///< HubAndSpoke: a hub is an endpoint
+    double weight = 0.0;    ///< relative bandwidth before rescaling
+    double lat_cycles = 0.0;
+};
+
+void check(bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("GenParams: ") + what);
+}
+
+bool finite(double v) { return std::isfinite(v); }
+
+}  // namespace
+
+const char* family_to_string(GenFamily f) {
+    return enum_to_string<GenFamily>(kFamilyNames, f, "pipeline");
+}
+
+bool family_from_string(const std::string& s, GenFamily& out) {
+    return enum_from_string<GenFamily>(kFamilyNames, s, out);
+}
+
+std::string family_choices() {
+    return enum_choices<GenFamily>(kFamilyNames);
+}
+
+void GenParams::validate() const {
+    check(num_cores >= 3 && num_cores <= 512,
+          "num_cores must be in 3..512");
+    check(num_layers >= 1 && num_layers <= 8,
+          "num_layers must be in 1..8");
+    // Bounded so the bandwidth rescale (peak / smallest skewed aggregate)
+    // can never overflow to infinity.
+    check(finite(peak_core_bw_mbps) && peak_core_bw_mbps > 0.0 &&
+              peak_core_bw_mbps <= 1e9,
+          "peak_core_bw_mbps must be in (0, 1e9]");
+    check(finite(bw_skew) && bw_skew >= 0.0 && bw_skew <= 4.0,
+          "bw_skew must be in 0..4");
+    check(finite(latency_slack) && latency_slack > 0.0 &&
+              latency_slack <= 100.0,
+          "latency_slack must be in (0, 100]");
+    check(finite(response_fraction) && response_fraction >= 0.0 &&
+              response_fraction <= 1.0,
+          "response_fraction must be in 0..1");
+    check(num_hubs >= 1 && num_hubs <= 16, "num_hubs must be in 1..16");
+    check(finite(hotspot_fraction) && hotspot_fraction > 0.0 &&
+              hotspot_fraction <= 1.0,
+          "hotspot_fraction must be in (0, 1]");
+    check(stages >= 2 && stages <= 512, "stages must be in 2..512");
+    check(max_fanout >= 1 && max_fanout <= 16,
+          "max_fanout must be in 1..16");
+    // Cross-field interactions only bind for the family that reads the
+    // fields — a default-constructed GenParams stays usable with every
+    // family at any advertised num_cores.
+    if (family == GenFamily::HubAndSpoke)
+        check(num_cores >= num_layers + num_hubs,
+              "num_cores must cover num_layers + num_hubs");
+    if (family == GenFamily::LayeredDag)
+        check(stages <= num_cores, "stages must be <= num_cores");
+}
+
+std::string spec_name(const GenParams& params, std::uint64_t seed) {
+    return format("gen_%s_n%d_s%llu", family_tag(params.family),
+                  params.num_cores,
+                  static_cast<unsigned long long>(seed));
+}
+
+namespace {
+
+/// Latency constraint of one hop-level flow: a small base per layer
+/// distance plus seed jitter, stretched by latency_slack. Integer cycles
+/// times a slack factor, quantized — stays in the 6..25-cycle band the
+/// paper benchmarks use at default slack.
+double flow_latency_cycles(const GenParams& p, Rng& rng, int layer_src,
+                           int layer_dst, bool response) {
+    const int base = 6 + 2 * std::abs(layer_src - layer_dst) +
+                     rng.next_int(0, 4) + (response ? 2 : 0);
+    return static_cast<double>(base) * p.latency_slack;
+}
+
+std::vector<GenFlow> pipeline_flows(const GenParams& p, Rng& rng,
+                                    const CoreSpec& cores) {
+    std::vector<GenFlow> flows;
+    for (int i = 0; i + 1 < p.num_cores; ++i) {
+        GenFlow f;
+        f.src = i;
+        f.dst = i + 1;
+        f.type = FlowType::Request;
+        f.lat_cycles = flow_latency_cycles(
+            p, rng, cores.core(i).layer, cores.core(i + 1).layer, false);
+        flows.push_back(f);
+        if (rng.next_bool(p.response_fraction)) {
+            GenFlow r;
+            r.src = i + 1;
+            r.dst = i;
+            r.type = FlowType::Response;
+            r.lat_cycles = flow_latency_cycles(
+                p, rng, cores.core(i + 1).layer, cores.core(i).layer, true);
+            flows.push_back(r);
+        }
+    }
+    return flows;
+}
+
+std::vector<GenFlow> hub_flows(const GenParams& p, Rng& rng,
+                               const CoreSpec& cores) {
+    // Core ids: hubs first (0..num_hubs-1), then the spokes.
+    std::vector<GenFlow> flows;
+    const int spokes = p.num_cores - p.num_hubs;
+    for (int j = 0; j < spokes; ++j) {
+        const int spoke = p.num_hubs + j;
+        const int hub = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(p.num_hubs)));
+        GenFlow req;
+        req.src = spoke;
+        req.dst = hub;
+        req.type = FlowType::Request;
+        req.hub_flow = true;
+        req.lat_cycles = flow_latency_cycles(
+            p, rng, cores.core(spoke).layer, cores.core(hub).layer, false);
+        flows.push_back(req);
+        GenFlow rsp;  // the read data comes back
+        rsp.src = hub;
+        rsp.dst = spoke;
+        rsp.type = FlowType::Response;
+        rsp.hub_flow = true;
+        rsp.lat_cycles = flow_latency_cycles(
+            p, rng, cores.core(hub).layer, cores.core(spoke).layer, true);
+        flows.push_back(rsp);
+    }
+    // Background peer-to-peer traffic among the spokes; skipped entirely
+    // when every byte belongs to the hubs.
+    if (p.hotspot_fraction < 1.0 && spokes >= 2) {
+        std::set<std::pair<int, int>> seen;
+        for (int t = 0; t < p.num_cores; ++t) {
+            const int a = p.num_hubs + static_cast<int>(rng.next_below(
+                                           static_cast<std::uint64_t>(
+                                               spokes)));
+            const int b = p.num_hubs + static_cast<int>(rng.next_below(
+                                           static_cast<std::uint64_t>(
+                                               spokes)));
+            if (a == b || !seen.emplace(a, b).second) continue;
+            GenFlow f;
+            f.src = a;
+            f.dst = b;
+            f.type = FlowType::Request;
+            f.lat_cycles = flow_latency_cycles(
+                p, rng, cores.core(a).layer, cores.core(b).layer, false);
+            flows.push_back(f);
+        }
+        if (seen.empty()) {
+            // All draws collided (possible on tiny spoke counts). The
+            // hotspot_fraction pin needs nonzero background bandwidth, so
+            // fall back to one deterministic pair.
+            GenFlow f;
+            f.src = p.num_hubs;
+            f.dst = p.num_hubs + 1;
+            f.type = FlowType::Request;
+            f.lat_cycles = flow_latency_cycles(
+                p, rng, cores.core(f.src).layer, cores.core(f.dst).layer,
+                false);
+            flows.push_back(f);
+        }
+    }
+    return flows;
+}
+
+std::vector<GenFlow> dag_flows(const GenParams& p, Rng& rng,
+                               const CoreSpec& cores,
+                               const std::vector<std::vector<int>>& stage) {
+    std::vector<GenFlow> flows;
+    std::set<std::pair<int, int>> edges;
+    std::vector<int> out_degree(static_cast<std::size_t>(p.num_cores), 0);
+    const auto add_edge = [&](int u, int v) {
+        if (!edges.emplace(u, v).second) return;
+        ++out_degree[static_cast<std::size_t>(u)];
+        GenFlow f;
+        f.src = u;
+        f.dst = v;
+        f.type = FlowType::Request;
+        f.lat_cycles = flow_latency_cycles(
+            p, rng, cores.core(u).layer, cores.core(v).layer, false);
+        flows.push_back(f);
+        if (rng.next_bool(p.response_fraction)) {
+            GenFlow r;
+            r.src = v;
+            r.dst = u;
+            r.type = FlowType::Response;
+            r.lat_cycles = flow_latency_cycles(
+                p, rng, cores.core(v).layer, cores.core(u).layer, true);
+            flows.push_back(r);
+        }
+    };
+    for (std::size_t s = 0; s + 1 < stage.size(); ++s) {
+        const auto& prev = stage[s];
+        // Every next-stage core is fed by 1..max_fanout distinct
+        // previous-stage cores.
+        for (int v : stage[s + 1]) {
+            const int max_in =
+                std::min(p.max_fanout, static_cast<int>(prev.size()));
+            const int k = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(max_in)));
+            std::vector<int> sources = prev;
+            rng.shuffle(sources);
+            for (int i = 0; i < k; ++i) add_edge(sources[
+                static_cast<std::size_t>(i)], v);
+        }
+        // No dead ends mid-graph: a previous-stage core nobody sampled
+        // still streams to one next-stage core.
+        for (int u : prev) {
+            if (out_degree[static_cast<std::size_t>(u)] > 0) continue;
+            const auto& next = stage[s + 1];
+            add_edge(u, next[static_cast<std::size_t>(rng.next_below(
+                            next.size()))]);
+        }
+    }
+    return flows;
+}
+
+}  // namespace
+
+DesignSpec generate(const GenParams& params, std::uint64_t seed) {
+    params.validate();
+    // One stream drives everything; the draw order (sizes -> structure ->
+    // ranks -> latencies) is part of the generator's identity.
+    Rng rng(splitmix64(seed + 0x9e3779b97f4a7c15ULL *
+                                  (static_cast<std::uint64_t>(
+                                       params.family) +
+                                   1)));
+
+    DesignSpec spec;
+    spec.name = spec_name(params, seed);
+
+    // ---- cores: names, sizes (0.70..1.40 mm in 0.05 steps — a single
+    // integer division is correctly rounded, so the value is bit-equal to
+    // what strtod reads back from the %.6g writer), 3-D layer assignment.
+    const auto core_size = [&] { return rng.next_int(14, 28) * 5 / 100.0; };
+    // Hubs are memory-controller sized: 0.30 mm larger, again in one
+    // division (adding 0.3 after the fact would drift an ulp off the
+    // parsed-back decimal).
+    const auto hub_size = [&] {
+        return (rng.next_int(14, 28) * 5 + 30) / 100.0;
+    };
+    const int n = params.num_cores;
+    std::vector<std::vector<int>> dag_stage;
+    switch (params.family) {
+        case GenFamily::Pipeline:
+            for (int i = 0; i < n; ++i) {
+                Core c;
+                c.name = format("c%d", i);
+                c.width = core_size();
+                c.height = core_size();
+                c.layer = layer_of(i, n, params.num_layers);
+                spec.cores.add_core(std::move(c));
+            }
+            break;
+        case GenFamily::HubAndSpoke: {
+            const int spokes = n - params.num_hubs;
+            // Hubs (memory-controller-sized) sit on the middle layer, the
+            // layer the spoke assignment below always populates.
+            for (int h = 0; h < params.num_hubs; ++h) {
+                Core c;
+                c.name = format("hub%d", h);
+                c.width = hub_size();
+                c.height = hub_size();
+                // validate() guarantees spokes >= num_layers, so the spoke
+                // assignment below populates every layer including this one.
+                c.layer = params.num_layers / 2;
+                spec.cores.add_core(std::move(c));
+            }
+            for (int j = 0; j < spokes; ++j) {
+                Core c;
+                c.name = format("n%d", j);
+                c.width = core_size();
+                c.height = core_size();
+                c.layer = layer_of(j, spokes, params.num_layers);
+                spec.cores.add_core(std::move(c));
+            }
+            break;
+        }
+        case GenFamily::LayeredDag: {
+            dag_stage.resize(static_cast<std::size_t>(params.stages));
+            // Stage sizes: n/stages each, remainder to the front stages.
+            int id = 0;
+            for (int s = 0; s < params.stages; ++s) {
+                const int size = n / params.stages +
+                                 (s < n % params.stages ? 1 : 0);
+                for (int k = 0; k < size; ++k) {
+                    Core c;
+                    c.name = format("s%d_%d", s, k);
+                    c.width = core_size();
+                    c.height = core_size();
+                    c.layer = layer_of(s, params.stages, params.num_layers);
+                    dag_stage[static_cast<std::size_t>(s)].push_back(id++);
+                    spec.cores.add_core(std::move(c));
+                }
+            }
+            break;
+        }
+    }
+
+    // ---- flows: structure first, then bandwidth weights.
+    std::vector<GenFlow> flows;
+    switch (params.family) {
+        case GenFamily::Pipeline:
+            flows = pipeline_flows(params, rng, spec.cores);
+            break;
+        case GenFamily::HubAndSpoke:
+            flows = hub_flows(params, rng, spec.cores);
+            break;
+        case GenFamily::LayeredDag:
+            flows = dag_flows(params, rng, spec.cores, dag_stage);
+            break;
+    }
+
+    // Skewed weights: 1/rank^bw_skew over a shuffled rank order, the
+    // uniform -> Zipf-like sweep. det_pow16 keeps this bit-deterministic.
+    const int skew16 = static_cast<int>(params.bw_skew * 16.0 + 0.5);
+    std::vector<int> ranks(flows.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = static_cast<int>(i) + 1;
+    rng.shuffle(ranks);
+    for (std::size_t i = 0; i < flows.size(); ++i)
+        flows[i].weight =
+            det_pow16(1.0 / ranks[i], skew16);
+
+    // HubAndSpoke: pin the share of bandwidth touching a hub to exactly
+    // hotspot_fraction (the later global rescale preserves the ratio).
+    if (params.family == GenFamily::HubAndSpoke) {
+        double hub_total = 0.0;
+        double bg_total = 0.0;
+        for (const auto& f : flows)
+            (f.hub_flow ? hub_total : bg_total) += f.weight;
+        if (hub_total > 0.0 && bg_total > 0.0) {
+            const double hub_scale = params.hotspot_fraction / hub_total;
+            const double bg_scale =
+                (1.0 - params.hotspot_fraction) / bg_total;
+            for (auto& f : flows)
+                f.weight *= f.hub_flow ? hub_scale : bg_scale;
+        }
+    }
+
+    // Rescale so the most-loaded core aggregates peak_core_bw_mbps.
+    std::vector<double> core_agg(static_cast<std::size_t>(n), 0.0);
+    for (const auto& f : flows) {
+        core_agg[static_cast<std::size_t>(f.src)] += f.weight;
+        core_agg[static_cast<std::size_t>(f.dst)] += f.weight;
+    }
+    const double max_agg =
+        *std::max_element(core_agg.begin(), core_agg.end());
+    const double scale = params.peak_core_bw_mbps / max_agg;
+
+    for (const auto& f : flows) {
+        Flow flow;
+        flow.src = f.src;
+        flow.dst = f.dst;
+        flow.type = f.type;
+        flow.bw_mbps = quantize_6g(f.weight * scale);
+        flow.max_latency_cycles = quantize_6g(f.lat_cycles);
+        spec.comm.add_flow(flow);
+    }
+
+    // Legal deterministic placement with every position already pinned to
+    // the writer's rendering, so the whole spec survives a parse round
+    // trip bit for bit.
+    assign_positions_gapped(spec.cores);
+    return spec;
+}
+
+}  // namespace sunfloor::specgen

@@ -1,0 +1,120 @@
+// Parametric DesignSpec generators — scenario diversity beyond the five
+// paper benchmarks.
+//
+// The paper evaluates SunFloor 3D on a handful of fixed SoCs; the
+// ROADMAP's scenario-diversity goal needs *families* of structurally
+// distinct specs that can be produced by the thousand and swept by the
+// explore engine. Each family turns a small GenParams struct plus a seed
+// into a complete, valid DesignSpec (cores with sizes, a legal row-packed
+// placement and a 3-D layer assignment; flows with bandwidths and latency
+// constraints):
+//
+//  * Pipeline     — a linear streaming chain c0 -> c1 -> ... (the D_65_pipe
+//                   shape, parameterized): snake 3-D layer assignment, a
+//                   response_fraction of the stage links carry a paired
+//                   reverse response flow (request/response pairing).
+//  * HubAndSpoke  — 1..num_hubs hot cores on the middle layer; every spoke
+//                   core reads from one hub (request + response), plus
+//                   background peer-to-peer flows. hotspot_fraction fixes
+//                   the share of total bandwidth touching a hub.
+//  * LayeredDag   — stage-structured DAG: `stages` stages spread over the
+//                   3-D layers, each next-stage core fed by 1..max_fanout
+//                   previous-stage cores (every core stays connected).
+//
+// All families share the bandwidth-skew knob: per-flow weights follow
+// 1/rank^bw_skew over a seed-shuffled rank order, sweeping uniform
+// (bw_skew = 0) to Zipf-like hot flows, then every bandwidth is rescaled
+// so the most-loaded core aggregates exactly peak_core_bw_mbps (keeping
+// generated specs in the feasible band of a 32-bit 400 MHz fabric by
+// default).
+//
+// Determinism contract: generate(params, seed) is a pure function —
+// bit-identical output across platforms, runs and thread counts. All
+// randomness comes from the portable xoshiro Rng; the only floating-point
+// operations are IEEE-correctly-rounded (+,-,*,/,sqrt — std::pow is
+// avoided on purpose, see det_pow16 in specgen.cpp); and every emitted
+// double is normalized through the spec writer's %.6g rendering, so a
+// generated spec round-trips through parse_design/write_design
+// byte-identically and field-bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor::specgen {
+
+enum class GenFamily { Pipeline, HubAndSpoke, LayeredDag };
+
+/// "pipeline", "hub" or "layered-dag" — the single source for CLI
+/// parsing and spec naming (one enum_names table behind all three
+/// helpers; "hub-and-spoke" and "dag" parse as aliases).
+const char* family_to_string(GenFamily f);
+
+/// Inverse of family_to_string; ASCII case-insensitive, returns false on
+/// any other input.
+bool family_from_string(const std::string& s, GenFamily& out);
+
+/// "pipeline|hub|layered-dag" — for uniform CLI error messages.
+std::string family_choices();
+
+/// Knobs of one generator family. Fields outside the selected family are
+/// ignored by generate() but still range-checked; cross-field
+/// interactions (hub headroom, stages vs cores) bind only for the family
+/// that reads them.
+struct GenParams {
+    GenFamily family = GenFamily::Pipeline;
+
+    int num_cores = 24;   ///< total cores (3..512)
+    int num_layers = 3;   ///< 3-D layers to spread the cores over (1..8)
+
+    /// After generation every bandwidth is rescaled so the most-loaded
+    /// core's aggregate (in + out) demand equals this (MB/s, up to 1e9).
+    /// The default leaves headroom under the 1600 MB/s of a 32-bit
+    /// 400 MHz link.
+    double peak_core_bw_mbps = 900.0;
+
+    /// Bandwidth skew: flow weights follow 1/rank^bw_skew over a
+    /// seed-shuffled rank order. 0 = uniform, ~1 = Zipf, up to 4 =
+    /// extremely hot-flow dominated. Quantized internally to 1/16 steps
+    /// (the deterministic-pow resolution).
+    double bw_skew = 0.0;
+
+    /// Multiplier on every latency constraint (cycles); > 1 loosens the
+    /// constraints, < 1 tightens them toward infeasibility.
+    double latency_slack = 1.5;
+
+    /// Pipeline / LayeredDag: fraction of forward links that carry a
+    /// paired reverse response flow (0..1).
+    double response_fraction = 0.5;
+
+    int num_hubs = 2;  ///< HubAndSpoke: hot cores (1..16, < num_cores)
+
+    /// HubAndSpoke: exact share of the total bandwidth on flows with a
+    /// hub endpoint (0..1]; the rest is background peer-to-peer traffic
+    /// among the spokes. With a single spoke no peer pair exists, so all
+    /// bandwidth is hub bandwidth regardless of this knob.
+    double hotspot_fraction = 0.75;
+
+    /// LayeredDag: stage count (2..512; must be <= num_cores when the
+    /// DAG family is selected).
+    int stages = 6;
+    int max_fanout = 3;  ///< LayeredDag: max sources feeding a core (1..16)
+
+    /// Throws std::invalid_argument naming the offending knob.
+    void validate() const;
+};
+
+/// Stable name of the generated spec, e.g. "gen_pipe_n24_s7" — encodes
+/// the family, the core count and the seed.
+std::string spec_name(const GenParams& params, std::uint64_t seed);
+
+/// Generate one member of the family. Pure and deterministic (see the
+/// header comment for the exact contract); throws std::invalid_argument
+/// on invalid params. The result always satisfies every CoreSpec/CommSpec
+/// invariant (unique names, positive finite sizes, legal placement, no
+/// duplicate flows) and parses back bit-identically from write_design().
+DesignSpec generate(const GenParams& params, std::uint64_t seed);
+
+}  // namespace sunfloor::specgen

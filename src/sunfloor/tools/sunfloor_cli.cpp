@@ -3,8 +3,10 @@
 // Usage:
 //   sunfloor_cli --design <file> [options]         # Section IV input file
 //   sunfloor_cli --benchmark <name> [options]      # built-in benchmark
-//   sunfloor_cli explore (--design <file> | --benchmark <name>) [options]
+//   sunfloor_cli explore (--design <file> | --benchmark <name> |
+//                         --family <f>) [options]
 //   sunfloor_cli simulate (--design <file> | --benchmark <name>) [options]
+//   sunfloor_cli generate --family <f> [options]   # emit a generated spec
 //
 // Synthesis options:
 //   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
@@ -38,6 +40,25 @@
 //   --packet-len <flits>      sim backend: packet length (default 4)
 //   --out <prefix>            write <prefix>_explore.csv, _explore.json
 //
+// Generator options (generate, and explore --family; specgen families):
+//   --family <f>              pipeline|hub|layered-dag
+//   --cores <n>               total cores                (default 24)
+//   --layers <n>              3-D layers                 (default 3)
+//   --peak-bw <mbps>          most-loaded core aggregate (default 900)
+//   --skew <s>                bandwidth skew 0..4        (default 0)
+//   --lat-slack <s>           latency constraint scale   (default 1.5)
+//   --resp <f>                response pairing fraction  (default 0.5)
+//   --hubs <k>                hub family: hot cores      (default 2)
+//   --hotspot <f>             hub family: hub bw share   (default 0.75)
+//   --stages <n>              dag family: stage count    (default 6)
+//   --fanout <n>              dag family: max fan-in     (default 3)
+// generate only:
+//   --seed <n>                generator seed             (default 1)
+//   --out <file>              write the spec file (default: stdout)
+// explore --family only:
+//   --instances <n>           members to generate        (default 4)
+//   --gen-seed <n>            first member seed          (default 1)
+//
 // Simulate options (flit-level simulation of the best synthesized design):
 //   --freq <MHz>              operating point            (default 400)
 //   --max-ill, --alpha, --phase, --routing, --seed, --no-floorplan
@@ -51,13 +72,16 @@
 //   --measure <cycles>        measurement window         (default 10000)
 //   --out <prefix>            write <prefix>_sim.csv
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/explore/explorer.h"
 #include "sunfloor/explore/export.h"
+#include "sunfloor/explore/family_sweep.h"
 #include "sunfloor/floorplan/annealer.h"
 #include "sunfloor/io/dot.h"
 #include "sunfloor/io/floorplan_dump.h"
@@ -65,6 +89,7 @@
 #include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/simulator.h"
 #include "sunfloor/spec/benchmarks.h"
+#include "sunfloor/specgen/specgen.h"
 #include "sunfloor/util/strings.h"
 
 using namespace sunfloor;
@@ -78,7 +103,9 @@ int usage(const char* argv0) {
                  "[--phase auto|1|2] [--routing up-down|west-first|odd-even] "
                  "[--seed N] [--no-floorplan] "
                  "[--out prefix] [--list-benchmarks]\n"
-                 "       %s explore (--design <file> | --benchmark <name>) "
+                 "       %s explore (--design <file> | --benchmark <name> | "
+                 "--family pipeline|hub|layered-dag [generator knobs] "
+                 "[--instances N] [--gen-seed N]) "
                  "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
                  "[--phase auto|1|2[,...]] [--theta V[,...]] "
                  "[--routing P[,...]] [--alpha A] "
@@ -91,8 +118,12 @@ int usage(const char* argv0) {
                  "[--routing up-down|west-first|odd-even] "
                  "[--seed N] [--no-floorplan] [--rate S[,S...]] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
-                 "[--buffers N] [--warmup N] [--measure N] [--out prefix]\n",
-                 argv0, argv0, argv0);
+                 "[--buffers N] [--warmup N] [--measure N] [--out prefix]\n"
+                 "       %s generate --family pipeline|hub|layered-dag "
+                 "[--cores N] [--layers N] [--peak-bw MBPS] [--skew S] "
+                 "[--lat-slack S] [--resp F] [--hubs K] [--hotspot F] "
+                 "[--stages N] [--fanout N] [--seed N] [--out file]\n",
+                 argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -168,6 +199,190 @@ bool parse_int_list(const char* arg, std::vector<int>& out) {
     return !out.empty();
 }
 
+/// Generator knobs shared by `generate` and `explore --family`. Returns
+/// 1 when `arg` (plus its value) was consumed, 0 when it is not a
+/// generator flag, -1 on a bad value (message printed). Range checks live
+/// in GenParams::validate(); here only the parse can fail.
+template <typename NextFn>
+int parse_gen_flag(const std::string& arg, NextFn&& next,
+                   specgen::GenParams& gp, bool& have_family) {
+    const auto bad = [&](const char* v) {
+        std::fprintf(stderr, "bad %s value '%s'\n", arg.c_str(),
+                     v ? v : "");
+        return -1;
+    };
+    const auto int_knob = [&](int& out) {
+        const char* v = next();
+        return (v && parse_int(v, out)) ? 1 : bad(v);
+    };
+    const auto double_knob = [&](double& out) {
+        const char* v = next();
+        return (v && parse_double(v, out)) ? 1 : bad(v);
+    };
+    if (arg == "--family") {
+        const char* v = next();
+        if (!v || !specgen::family_from_string(v, gp.family)) {
+            bad_enum_value("--family", v, specgen::family_choices());
+            return -1;
+        }
+        have_family = true;
+        return 1;
+    }
+    if (arg == "--cores") return int_knob(gp.num_cores);
+    if (arg == "--layers") return int_knob(gp.num_layers);
+    if (arg == "--peak-bw") return double_knob(gp.peak_core_bw_mbps);
+    if (arg == "--skew") return double_knob(gp.bw_skew);
+    if (arg == "--lat-slack") return double_knob(gp.latency_slack);
+    if (arg == "--resp") return double_knob(gp.response_fraction);
+    if (arg == "--hubs") return int_knob(gp.num_hubs);
+    if (arg == "--hotspot") return double_knob(gp.hotspot_fraction);
+    if (arg == "--stages") return int_knob(gp.stages);
+    if (arg == "--fanout") return int_knob(gp.max_fanout);
+    return 0;
+}
+
+int run_generate(int argc, char** argv) {
+    specgen::GenParams gp;
+    bool have_family = false;
+    long long seed = 1;
+    std::string out_path;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seed") {
+            const char* v = next();
+            if (!v || !parse_int64(v, seed) || seed < 0)
+                return usage(argv[0]);
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            out_path = v;
+        } else {
+            const int r = parse_gen_flag(arg, next, gp, have_family);
+            if (r < 0) return 2;
+            if (r == 0) {
+                std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+                return usage(argv[0]);
+            }
+        }
+    }
+    if (!have_family) {
+        std::fprintf(stderr, "generate requires --family (expected %s)\n",
+                     specgen::family_choices().c_str());
+        return 2;
+    }
+
+    DesignSpec spec;
+    try {
+        spec = specgen::generate(gp, static_cast<std::uint64_t>(seed));
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    std::ostringstream os;
+    write_design(os, spec);
+    const std::string text = os.str();
+
+    // Enforce the round-trip guarantee at run time: the emitted file must
+    // parse back and re-serialize to exactly these bytes.
+    std::istringstream is(text);
+    const ParseResult rt = parse_design(is, spec.name);
+    std::ostringstream os2;
+    if (rt.ok) write_design(os2, rt.spec);
+    if (!rt.ok || os2.str() != text) {
+        std::fprintf(stderr,
+                     "internal error: generated spec does not round-trip "
+                     "(%s)\n",
+                     rt.ok ? "reserialization differs" : rt.error.c_str());
+        return 1;
+    }
+
+    if (out_path.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream f(out_path);
+        if (!f || !(f << text) || !f.flush()) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s: %s, %d cores, %d layers, %d flows\n",
+                    out_path.c_str(), spec.name.c_str(),
+                    spec.cores.num_cores(), spec.cores.num_layers(),
+                    spec.comm.num_flows());
+    }
+    return 0;
+}
+
+/// explore --family: the same architectural grid swept over every
+/// generated member of a spec family (explore/family_sweep.h).
+int run_explore_family(const specgen::GenParams& gp, int instances,
+                       long long gen_seed, const SynthesisConfig& cfg,
+                       const ParamGrid& grid, const ExploreOptions& opts,
+                       const std::string& out_prefix) {
+    std::printf("family %s: %d member(s), seeds %lld..%lld, %d cores, "
+                "%d layers, skew %g\n",
+                specgen::family_to_string(gp.family), instances, gen_seed,
+                gen_seed + instances - 1, gp.num_cores, gp.num_layers,
+                gp.bw_skew);
+    std::printf("grid: %zu architectural points per member\n",
+                grid.cartesian_size());
+
+    FamilySweepResult fam;
+    try {
+        fam = explore_generated_family(
+            gp,
+            family_seeds(static_cast<std::uint64_t>(gen_seed), instances),
+            cfg, grid, opts);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    Table t({"seed", "spec", "cores", "flows", "valid", "pareto",
+             "best_power_mw", "best_latency_cycles"});
+    for (const auto& m : fam.members) {
+        const ParetoEntry bp = m.result.best_power();
+        double mw = -1.0;
+        double lat = -1.0;
+        if (bp.point_index >= 0) {
+            const DesignPoint& dp = m.result.design(bp);
+            mw = dp.report.power.total_mw();
+            lat = dp.report.avg_latency_cycles;
+        }
+        t.add_row({static_cast<long long>(m.spec_seed), m.spec_name,
+                   static_cast<long long>(m.num_cores),
+                   static_cast<long long>(m.num_flows),
+                   static_cast<long long>(m.result.stats.valid_designs),
+                   static_cast<long long>(m.result.stats.pareto_size), mw,
+                   lat});
+    }
+    std::printf("\n");
+    t.write_pretty(std::cout);
+    std::printf("\n%d/%zu member(s) feasible, %d valid designs, "
+                "%d Pareto designs in %.0f ms\n",
+                fam.feasible_members, fam.members.size(),
+                fam.total_valid_designs, fam.total_pareto_designs,
+                fam.elapsed_ms);
+
+    if (!out_prefix.empty()) {
+        if (!t.save_csv(out_prefix + "_family.csv")) {
+            std::fprintf(stderr, "failed to write %s_family.csv\n",
+                         out_prefix.c_str());
+            return 1;
+        }
+        std::printf("wrote %s_family.csv\n", out_prefix.c_str());
+    }
+    if (fam.total_valid_designs == 0) {
+        std::fprintf(stderr, "\nno valid design in any family member\n");
+        return 1;
+    }
+    return 0;
+}
+
 int run_explore(int argc, char** argv) {
     std::string design_file;
     std::string benchmark;
@@ -177,6 +392,11 @@ int run_explore(int argc, char** argv) {
     opts.num_threads = 0;  // all cores
     ParamGrid grid;
     const char* sim_only_flag = nullptr;  // sim flag seen, for validation
+    specgen::GenParams gp;
+    bool have_family = false;
+    int instances = 4;
+    long long gen_seed = 1;
+    std::string family_only_flag;  // generator flag seen, for validation
 
     for (int i = 2; i < argc; ++i) try {
         const std::string arg = argv[i];
@@ -281,15 +501,33 @@ int run_explore(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             out_prefix = v;
+        } else if (arg == "--instances") {
+            const char* v = next();
+            if (!v || !parse_int(v, instances) || instances < 1)
+                return usage(argv[0]);
+            family_only_flag = "--instances";
+        } else if (arg == "--gen-seed") {
+            const char* v = next();
+            if (!v || !parse_int64(v, gen_seed) || gen_seed < 0)
+                return usage(argv[0]);
+            family_only_flag = "--gen-seed";
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            return usage(argv[0]);
+            const int r = parse_gen_flag(arg, next, gp, have_family);
+            if (r < 0) return 2;
+            if (r == 0) {
+                std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+                return usage(argv[0]);
+            }
+            if (arg != "--family") family_only_flag = arg;
         }
     } catch (const std::invalid_argument& e) {  // out-of-domain axis value
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
     }
-    if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+    const int sources = static_cast<int>(!design_file.empty()) +
+                        static_cast<int>(!benchmark.empty()) +
+                        static_cast<int>(have_family);
+    if (sources != 1) return usage(argv[0]);
     if (sim_only_flag && opts.backend != EvalBackend::Simulated) {
         std::fprintf(stderr,
                      "%s only affects the simulated backend; add "
@@ -297,6 +535,15 @@ int run_explore(int argc, char** argv) {
                      sim_only_flag);
         return 2;
     }
+    if (!family_only_flag.empty() && !have_family) {
+        std::fprintf(stderr,
+                     "%s only affects generated families; add --family\n",
+                     family_only_flag.c_str());
+        return 2;
+    }
+
+    if (have_family) return run_explore_family(gp, instances, gen_seed,
+                                               cfg, grid, opts, out_prefix);
 
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
@@ -646,5 +893,7 @@ int main(int argc, char** argv) {
         return run_explore(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "simulate")
         return run_simulate(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "generate")
+        return run_generate(argc, argv);
     return run_synthesize(argc, argv);
 }

@@ -1,11 +1,14 @@
 #include "sunfloor/util/strings.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <cctype>
 
 namespace sunfloor {
 
@@ -83,9 +86,20 @@ std::string format(const char* fmt, ...) {
 bool parse_double(std::string_view s, double& out) {
     const std::string buf(trim(s));
     if (buf.empty()) return false;
+    // strtod accepts hex floats ("0x1.8p1"); the spec grammar does not.
+    for (char c : buf)
+        if (c == 'x' || c == 'X') return false;
+    errno = 0;
     char* end = nullptr;
     const double v = std::strtod(buf.c_str(), &end);
     if (end != buf.c_str() + buf.size()) return false;
+    // Overflow saturates to +-HUGE_VAL with ERANGE; underflow (a denormal
+    // or zero result, also ERANGE) is kept — it is the nearest value.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+    // "inf"/"nan" tokens parse but poison every downstream comparison
+    // (NaN slips through `< 0` validity checks), so only finite values
+    // count as numbers here.
+    if (!std::isfinite(v)) return false;
     out = v;
     return true;
 }
@@ -93,9 +107,13 @@ bool parse_double(std::string_view s, double& out) {
 bool parse_int(std::string_view s, int& out) {
     const std::string buf(trim(s));
     if (buf.empty()) return false;
+    errno = 0;
     char* end = nullptr;
     const long v = std::strtol(buf.c_str(), &end, 10);
     if (end != buf.c_str() + buf.size()) return false;
+    // Out-of-range input saturates with ERANGE; anything beyond int would
+    // otherwise be truncated silently by the narrowing cast.
+    if (errno == ERANGE || v < INT_MIN || v > INT_MAX) return false;
     out = static_cast<int>(v);
     return true;
 }
@@ -103,9 +121,11 @@ bool parse_int(std::string_view s, int& out) {
 bool parse_int64(std::string_view s, long long& out) {
     const std::string buf(trim(s));
     if (buf.empty()) return false;
+    errno = 0;
     char* end = nullptr;
     const long long v = std::strtoll(buf.c_str(), &end, 10);
     if (end != buf.c_str() + buf.size()) return false;
+    if (errno == ERANGE) return false;
     out = v;
     return true;
 }

@@ -32,13 +32,17 @@ std::string double_bits(double v);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/// Parse a double, returning false on malformed input instead of throwing.
+/// Parse a *finite* double, returning false on malformed input instead of
+/// throwing. Rejects "inf"/"nan"/hex-float tokens and decimal overflow;
+/// gradual underflow to a denormal (or zero) is accepted.
 bool parse_double(std::string_view s, double& out);
 
-/// Parse an integer, returning false on malformed input.
+/// Parse an integer, returning false on malformed or out-of-int-range
+/// input (no silent truncation).
 bool parse_int(std::string_view s, int& out);
 
-/// Parse a 64-bit integer, returning false on malformed input.
+/// Parse a 64-bit integer, returning false on malformed or out-of-range
+/// input.
 bool parse_int64(std::string_view s, long long& out);
 
 }  // namespace sunfloor

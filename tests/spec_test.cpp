@@ -1,6 +1,8 @@
 // Tests for core/communication specifications and the text parser.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sunfloor/spec/parser.h"
@@ -79,6 +81,40 @@ TEST(CommSpec, FlowValidation) {
     EXPECT_EQ(comm.add_flow(f), 0);
 }
 
+TEST(CommSpec, RejectsNonFiniteBandwidthAndLatency) {
+    // A NaN bandwidth passes a bare `bw < 0` check (NaN comparisons are
+    // false) and then poisons max_bw/total_bw and Pareto ranking; the
+    // guard must be explicit.
+    CommSpec comm;
+    Flow f;
+    f.src = 0;
+    f.dst = 1;
+    f.bw_mbps = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(comm.add_flow(f), std::invalid_argument);
+    f.bw_mbps = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(comm.add_flow(f), std::invalid_argument);
+    f.bw_mbps = 10.0;
+    f.max_latency_cycles = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(comm.add_flow(f), std::invalid_argument);
+    f.max_latency_cycles = 5.0;
+    EXPECT_EQ(comm.add_flow(f), 0);
+    EXPECT_DOUBLE_EQ(comm.max_bw(), 10.0);   // aggregates stayed clean
+    EXPECT_DOUBLE_EQ(comm.total_bw(), 10.0);
+}
+
+TEST(CoreSpec, RejectsNonFiniteGeometry) {
+    CoreSpec cs;
+    Core c = make_core("nanw", std::numeric_limits<double>::quiet_NaN(),
+                       1.0, 0);
+    EXPECT_THROW(cs.add_core(c), std::invalid_argument);
+    c = make_core("infh", 1.0, std::numeric_limits<double>::infinity(), 0);
+    EXPECT_THROW(cs.add_core(c), std::invalid_argument);
+    c = make_core("nanp", 1.0, 1.0, 0);
+    c.position.x = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(cs.add_core(c), std::invalid_argument);
+    EXPECT_EQ(cs.num_cores(), 0);
+}
+
 TEST(CommSpec, Aggregates) {
     CommSpec comm;
     comm.add_flow({0, 1, 100.0, 5.0, FlowType::Request});
@@ -146,6 +182,60 @@ TEST(Parser, Errors) {
                 "bad flow type");
     expect_fail("bogus line here\n", "unknown directive");
     expect_fail("core a 1 1 0 0 0\ncore a 1 1 0 0 0\n", "duplicate core");
+}
+
+// Every error path must name the offending line: a fuzzed or mutated
+// 1000-line spec is undebuggable from "malformed fields" alone.
+TEST(Parser, ErrorsNameTheOffendingLine) {
+    const auto error_of = [](const char* text) {
+        std::istringstream is(text);
+        const auto r = parse_design(is);
+        EXPECT_FALSE(r.ok) << text;
+        return r.error;
+    };
+    const char* two_cores = "core a 1 1 0 0 0\ncore b 1 1 0 0 0\n";
+
+    // Duplicate flow lines (same src, dst and type) name both lines.
+    const std::string dup = error_of(
+        ("# hdr\n" + std::string(two_cores) +
+         "flow a b 1 1 req\nflow a b 2 2 req\n")
+            .c_str());
+    EXPECT_NE(dup.find("line 5"), std::string::npos) << dup;
+    EXPECT_NE(dup.find("duplicate flow"), std::string::npos) << dup;
+    EXPECT_NE(dup.find("line 4"), std::string::npos) << dup;
+
+    // Same pair with a different type is NOT a duplicate (req + rsp).
+    std::istringstream ok_is(std::string(two_cores) +
+                             "flow a b 1 1 req\nflow a b 1 1 rsp\n");
+    EXPECT_TRUE(parse_design(ok_is).ok);
+
+    // Undeclared cores are named, with the line.
+    const std::string undecl =
+        error_of("core a 1 1 0 0 0\nflow a ghost 1 1 req\n");
+    EXPECT_NE(undecl.find("line 2"), std::string::npos) << undecl;
+    EXPECT_NE(undecl.find("'ghost'"), std::string::npos) << undecl;
+
+    // Out-of-int-range layer: rejected at the parse, naming the line,
+    // instead of silently truncating through the long->int cast.
+    const std::string trunc = error_of("core a 1 1 0 0 99999999999\n");
+    EXPECT_NE(trunc.find("line 1"), std::string::npos) << trunc;
+
+    // In-int-range but absurd layer: rejected with its own message.
+    const std::string layer = error_of("core a 1 1 0 0 2000000\n");
+    EXPECT_NE(layer.find("line 1"), std::string::npos) << layer;
+    EXPECT_NE(layer.find("out of range"), std::string::npos) << layer;
+
+    // Non-finite numbers anywhere are malformed fields, with the line.
+    for (const char* text :
+         {"core a nan 1 0 0 0\n", "core a 1 inf 0 0 0\n",
+          "core a 1 1 0 0 0\ncore b 1 1 0 0 0\nflow a b nan 1 req\n",
+          "core a 1 1 0 0 0\ncore b 1 1 0 0 0\nflow a b 1e999 1 req\n",
+          "core a 1 1 0 0 0\ncore b 1 1 0 0 0\nflow a b 0x20 1 req\n"}) {
+        const std::string err = error_of(text);
+        EXPECT_NE(err.find("line "), std::string::npos) << text;
+        EXPECT_NE(err.find("malformed"), std::string::npos)
+            << text << " -> " << err;
+    }
 }
 
 TEST(Parser, EmptyInputIsValid) {

@@ -140,6 +140,42 @@ TEST(Strings, ParseDouble) {
     EXPECT_FALSE(parse_double("", d));
 }
 
+TEST(Strings, ParseDoubleRejectsNonFiniteTokens) {
+    // "inf"/"nan" parse as numbers under strtod but poison every
+    // downstream `< 0`-style validity check (NaN compares false), so
+    // parse_double only accepts finite values.
+    double d = 1.0;
+    EXPECT_FALSE(parse_double("inf", d));
+    EXPECT_FALSE(parse_double("-inf", d));
+    EXPECT_FALSE(parse_double("infinity", d));
+    EXPECT_FALSE(parse_double("nan", d));
+    EXPECT_FALSE(parse_double("NaN", d));
+    EXPECT_FALSE(parse_double("nan(0x1)", d));
+    EXPECT_EQ(d, 1.0);  // output untouched on failure
+}
+
+TEST(Strings, ParseDoubleRejectsHexFloats) {
+    // The spec grammar is decimal; strtod's hex-float extension is not
+    // part of it.
+    double d = 1.0;
+    EXPECT_FALSE(parse_double("0x10", d));
+    EXPECT_FALSE(parse_double("0x1.8p1", d));
+    EXPECT_FALSE(parse_double("0X2", d));
+}
+
+TEST(Strings, ParseDoubleRejectsOverflowKeepsUnderflow) {
+    double d = 1.0;
+    EXPECT_FALSE(parse_double("1e999", d));   // overflow to +HUGE_VAL
+    EXPECT_FALSE(parse_double("-1e999", d));  // overflow to -HUGE_VAL
+    EXPECT_EQ(d, 1.0);
+    // Gradual underflow keeps the nearest representable value.
+    EXPECT_TRUE(parse_double("1e-320", d));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1e-300);
+    EXPECT_TRUE(parse_double("1e-999", d));
+    EXPECT_EQ(d, 0.0);
+}
+
 TEST(Strings, ParseInt) {
     int v = 0;
     EXPECT_TRUE(parse_int("42", v));
@@ -150,6 +186,20 @@ TEST(Strings, ParseInt) {
     EXPECT_FALSE(parse_int("", v));
 }
 
+TEST(Strings, ParseIntRejectsOutOfRange) {
+    // 2^31 used to come back silently truncated through the long->int
+    // cast; out-of-range input is now a parse failure.
+    int v = 123;
+    EXPECT_FALSE(parse_int("2147483648", v));
+    EXPECT_FALSE(parse_int("-2147483649", v));
+    EXPECT_FALSE(parse_int("99999999999999999999", v));  // beyond long too
+    EXPECT_EQ(v, 123);  // output untouched on failure
+    EXPECT_TRUE(parse_int("2147483647", v));
+    EXPECT_EQ(v, 2147483647);
+    EXPECT_TRUE(parse_int("-2147483648", v));
+    EXPECT_EQ(v, -2147483648);
+}
+
 TEST(Strings, ParseInt64) {
     long long v = 0;
     EXPECT_TRUE(parse_int64("3000000000", v));  // beyond 32-bit range
@@ -158,6 +208,15 @@ TEST(Strings, ParseInt64) {
     EXPECT_EQ(v, -9);
     EXPECT_FALSE(parse_int64("4.2", v));
     EXPECT_FALSE(parse_int64("", v));
+}
+
+TEST(Strings, ParseInt64RejectsOutOfRange) {
+    long long v = 5;
+    EXPECT_FALSE(parse_int64("9223372036854775808", v));   // 2^63
+    EXPECT_FALSE(parse_int64("-9223372036854775809", v));  // -(2^63)-1
+    EXPECT_EQ(v, 5);
+    EXPECT_TRUE(parse_int64("9223372036854775807", v));
+    EXPECT_EQ(v, 9223372036854775807LL);
 }
 
 TEST(Table, ArityChecked) {
