@@ -9,34 +9,61 @@
 #     family sweep throughput at 1 and 4 threads)
 #   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
 #     curves per paper benchmark)
-# Extra arguments are passed through to both bench binaries
+#   bench_obs_overhead    -> BENCH_obs.json (ScopedSpan guard cost with
+#     and without a sink, traced-vs-untraced exploration wall time, and
+#     the estimated no-sink instrumentation overhead vs the < 2% bar)
+# Extra arguments are passed through to every bench binary
 # (e.g. --benchmark_min_time=2x).
 #
-# Usage: bench/run_benches.sh [build_dir] [explore_out.json] [sim_out.json] [bench args...]
+# Usage: bench/run_benches.sh [build_dir] [explore_out.json] [sim_out.json]
+#                             [obs_out.json] [bench args...]
 # (the old two-positional form `run_benches.sh build out.json --flag`
 # still works: a leading-dash third argument is a bench flag, not a path)
+#
+# Failure behaviour: a bench that exits non-zero stops the script with a
+# message naming the bench, and its exit status is propagated. Output
+# JSON is written via tmp + rename, so a failed distillation never
+# leaves a truncated BENCH_*.json behind.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_EXPLORE=${2:-BENCH_explore.json}
 OUT_SIM=BENCH_sim.json
+OUT_OBS=BENCH_obs.json
 shift $(( $# >= 2 ? 2 : $# ))
 if [[ $# -ge 1 && ${1} != -* ]]; then
     OUT_SIM=$1
+    shift
+fi
+if [[ $# -ge 1 && ${1} != -* ]]; then
+    OUT_OBS=$1
     shift
 fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# Run one bench into $RAW; on failure, name it and propagate its status
+# (under `set -e` alone the script would stop, but silently).
+run_bench() {
+    local name=$1
+    shift
+    local rc=0
+    "$BUILD_DIR/$name" "$@" > "$RAW" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+        echo "error: $BUILD_DIR/$name exited with status $rc" >&2
+        exit "$rc"
+    fi
+}
+
 # ------------------------------------------------------ explore scaling
 # min_time well below one exploration => exactly one iteration per
 # thread count (old and new Google Benchmark both accept plain seconds)
-"$BUILD_DIR/bench_explore_scaling" --benchmark_format=json \
-    --benchmark_min_time=0.01 "$@" > "$RAW"
+run_bench bench_explore_scaling --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
 
 python3 - "$RAW" "$OUT_EXPLORE" <<'EOF'
-import json, sys
+import json, os, sys
 
 raw = json.load(open(sys.argv[1]))
 rows = {}
@@ -108,20 +135,22 @@ out = {
     "stage_reuse": stage_reuse,
     "routing": routing,
 }
-with open(sys.argv[2], "w") as f:
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
+os.replace(tmp, sys.argv[2])
 print(json.dumps(out, indent=2))
 EOF
 
 # ------------------------------------------------------ specgen scaling
 # Merged into the explore JSON as its `specgen` section (one file tracks
 # the whole exploration trajectory).
-"$BUILD_DIR/bench_specgen" --benchmark_format=json \
-    --benchmark_min_time=0.01 "$@" > "$RAW"
+run_bench bench_specgen --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
 
 python3 - "$RAW" "$OUT_EXPLORE" <<'EOF'
-import json, sys
+import json, os, sys
 
 raw = json.load(open(sys.argv[1]))
 generate = {}
@@ -160,18 +189,20 @@ section = {
 }
 out = json.load(open(sys.argv[2]))
 out["specgen"] = section
-with open(sys.argv[2], "w") as f:
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
+os.replace(tmp, sys.argv[2])
 print(json.dumps({"specgen": section}, indent=2))
 EOF
 
 # ------------------------------------------------------ sim throughput
-"$BUILD_DIR/bench_sim_throughput" --benchmark_format=json \
-    --benchmark_min_time=0.01 "$@" > "$RAW"
+run_bench bench_sim_throughput --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
 
 python3 - "$RAW" "$OUT_SIM" <<'EOF'
-import json, sys
+import json, os, sys
 
 raw = json.load(open(sys.argv[1]))
 rows = {}
@@ -209,8 +240,77 @@ out = {
     "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
     "curves": curves,
 }
-with open(sys.argv[2], "w") as f:
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
+os.replace(tmp, sys.argv[2])
+print(json.dumps(out, indent=2))
+EOF
+
+# ------------------------------------------------------ obs overhead
+run_bench bench_obs_overhead --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
+
+python3 - "$RAW" "$OUT_OBS" <<'EOF'
+import json, os, sys
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw.get("benchmarks", []):
+    # Names: BM_span_disabled, BM_span_enabled, BM_explore/0 (untraced),
+    # BM_explore/1 (traced). Skip aggregates, average repetitions.
+    if "aggregate_name" in b:
+        continue
+    rows.setdefault("/".join(b["name"].split("/")[:2]), []).append(b)
+
+def avg(key, field):
+    bs = rows.get(key, [])
+    return sum(b.get(field, 0.0) for b in bs) / len(bs) if bs else None
+
+SPAN_BATCH = 1024  # kSpanBatch in bench_obs_overhead.cpp
+span = {}
+for name, key in (("disabled", "BM_span_disabled"),
+                  ("enabled", "BM_span_enabled")):
+    t = avg(key, "real_time")  # us per batch
+    if t is not None:
+        span[name] = {"ns_per_span": round(t * 1000.0 / SPAN_BATCH, 3),
+                      "repetitions": len(rows[key])}
+
+explore = {}
+for name, key in (("untraced", "BM_explore/0"), ("traced", "BM_explore/1")):
+    t = avg(key, "real_time")
+    if t is not None:
+        explore[name] = {"real_time_ms": round(t, 3),
+                         "repetitions": len(rows[key])}
+spans_per_run = avg("BM_explore/1", "spans_per_run")
+if spans_per_run:
+    explore["traced"]["spans_per_run"] = int(spans_per_run)
+
+overhead = {}
+if "untraced" in explore and "traced" in explore:
+    base = explore["untraced"]["real_time_ms"]
+    overhead["traced_pct"] = round(
+        (explore["traced"]["real_time_ms"] - base) / base * 100.0, 3)
+    # No-sink tax: every span an exploration would emit costs one
+    # disabled-guard check. The acceptance bar is < 2%.
+    if spans_per_run and "disabled" in span:
+        overhead["no_sink_pct"] = round(
+            spans_per_run * span["disabled"]["ns_per_span"] /
+            (base * 1e6) * 100.0, 6)
+        overhead["no_sink_bar_pct"] = 2.0
+
+out = {
+    "bench": "bench_obs_overhead",
+    "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
+    "span": span,
+    "explore": explore,
+    "overhead": overhead,
+}
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+os.replace(tmp, sys.argv[2])
 print(json.dumps(out, indent=2))
 EOF

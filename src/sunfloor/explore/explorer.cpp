@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
 #include "sunfloor/util/enum_names.h"
 #include "sunfloor/util/thread_pool.h"
 
@@ -81,6 +83,8 @@ struct Candidate {
 /// All-pairs strict-dominance filter; keeps candidate order.
 std::vector<ParetoEntry> dominance_filter(
     const std::vector<Candidate>& cands) {
+    obs::ScopedSpan span("explore.pareto", "candidates",
+                         static_cast<long long>(cands.size()));
     std::vector<ParetoEntry> front;
     for (const auto& a : cands) {
         bool dominated = false;
@@ -93,6 +97,13 @@ std::vector<ParetoEntry> dominance_filter(
         }
         if (!dominated) front.push_back(a.entry);
     }
+    auto& reg = obs::Registry::global();
+    reg.counter("explore.pareto.candidates")
+        .add(static_cast<long long>(cands.size()));
+    reg.counter("explore.pareto.insertions")
+        .add(static_cast<long long>(front.size()));
+    reg.counter("explore.pareto.prunes")
+        .add(static_cast<long long>(cands.size() - front.size()));
     return front;
 }
 
@@ -212,6 +223,8 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
 
     const auto evaluate = [&](std::size_t slot) {
         const std::size_t i = to_eval[slot];
+        obs::ScopedSpan span("explore.point", "index",
+                             static_cast<long long>(i));
         const GridPoint& p = points[i];
         SynthesisConfig cfg = p.apply(base_cfg_);
         cfg.seed = out.points[i].synth_seed;
@@ -279,6 +292,7 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
         }
         const auto simulate_job = [&](std::size_t j) {
             const SimJob& job = jobs[j];
+            obs::ScopedSpan span("explore.sim", "design", job.design);
             auto& pr = out.points[job.point];
             const SynthesisConfig cfg = pr.point.apply(base_cfg_);
             sim::SimParams sp = opts_.sim;
@@ -335,6 +349,12 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     st.backend = opts_.backend;
     st.simulated_designs = simulated_designs;
     st.stage = session_.stats() - stage_before;
+
+    auto& reg = obs::Registry::global();
+    reg.counter("explore.points.total").add(st.total_points);
+    reg.counter("explore.points.evaluated").add(st.evaluated_points);
+    reg.counter("explore.points.cache_hits").add(st.cache_hits);
+    reg.counter("explore.designs.simulated").add(st.simulated_designs);
     st.elapsed_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "sunfloor/obs/trace.h"
+
 namespace sunfloor {
 
 std::vector<std::uint64_t> family_seeds(std::uint64_t base, int count) {
@@ -27,6 +29,8 @@ FamilySweepResult explore_generated_family(
     out.params = gen;
     out.members.reserve(seeds.size());
     for (std::uint64_t seed : seeds) {
+        obs::ScopedSpan span("explore.family_member", "member",
+                             static_cast<long long>(out.members.size()));
         FamilyMemberResult m;
         m.spec_seed = seed;
         DesignSpec spec = specgen::generate(gen, seed);

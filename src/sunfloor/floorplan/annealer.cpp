@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
+
 namespace sunfloor {
 
 double floorplan_cost(const Packing& packing, const std::vector<BlockDim>& dims,
@@ -37,7 +40,18 @@ AnnealResult anneal_floorplan(const std::vector<BlockDim>& dims,
                               const std::vector<Point>* targets,
                               const std::vector<double>* target_weights) {
     const int n = static_cast<int>(dims.size());
+    obs::ScopedSpan span("floorplan.anneal", "blocks", n);
     AnnealResult result;
+    // Move accounting lands in the registry whichever return runs.
+    struct MetricsPush {
+        const AnnealResult& r;
+        ~MetricsPush() {
+            auto& reg = obs::Registry::global();
+            reg.counter("floorplan.anneal_runs").add(1);
+            reg.counter("floorplan.moves_total").add(r.total_moves);
+            reg.counter("floorplan.moves_accepted").add(r.accepted_moves);
+        }
+    } push{result};
     if (n == 0) return result;
 
     SequencePair sp = initial ? *initial : SequencePair(n);

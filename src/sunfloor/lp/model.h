@@ -21,6 +21,7 @@ struct LpResult {
     LpStatus status = LpStatus::IterationLimit;
     double objective = 0.0;
     std::vector<double> x;  ///< value per variable, valid when Optimal
+    int iterations = 0;     ///< simplex pivots over both phases
 };
 
 /// A linear program: minimize c^T x subject to the stored constraints and

@@ -4,6 +4,9 @@
 #include <limits>
 #include <vector>
 
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
+
 namespace sunfloor {
 namespace {
 
@@ -112,9 +115,7 @@ PhaseOutcome run_phase(Tableau& t, const std::vector<double>& cost,
     }
 }
 
-}  // namespace
-
-LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
+LpResult solve_lp_impl(const LpProblem& problem, const SimplexOptions& opts) {
     const int n = problem.num_variables();
     const int m = problem.num_constraints();
 
@@ -196,14 +197,15 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
         for (int c : art_cols) cost1[static_cast<std::size_t>(c)] = 1.0;
         const auto out = run_phase(t, cost1, allowed, opts, iterations);
         if (out == PhaseOutcome::IterationLimit)
-            return {LpStatus::IterationLimit, 0.0, {}};
+            return {LpStatus::IterationLimit, 0.0, {}, iterations};
         // Unbounded is impossible in phase 1 (objective bounded below by 0).
         double art_sum = 0.0;
         for (int r = 0; r < t.m; ++r) {
             const int b = t.basis[static_cast<std::size_t>(r)];
             if (b >= n + num_slack) art_sum += t.rhs(r);
         }
-        if (art_sum > 1e-7) return {LpStatus::Infeasible, 0.0, {}};
+        if (art_sum > 1e-7)
+            return {LpStatus::Infeasible, 0.0, {}, iterations};
 
         // Drive remaining (degenerate, rhs==0) artificials out of the basis
         // where possible; rows that cannot pivot are redundant and harmless.
@@ -227,8 +229,9 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
             problem.objective()[static_cast<std::size_t>(v)];
     const auto out = run_phase(t, cost2, allowed, opts, iterations);
     if (out == PhaseOutcome::IterationLimit)
-        return {LpStatus::IterationLimit, 0.0, {}};
-    if (out == PhaseOutcome::Unbounded) return {LpStatus::Unbounded, 0.0, {}};
+        return {LpStatus::IterationLimit, 0.0, {}, iterations};
+    if (out == PhaseOutcome::Unbounded)
+        return {LpStatus::Unbounded, 0.0, {}, iterations};
 
     LpResult res;
     res.status = LpStatus::Optimal;
@@ -238,6 +241,18 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
         if (b < n) res.x[static_cast<std::size_t>(b)] = t.rhs(r);
     }
     res.objective = problem.objective_value(res.x);
+    res.iterations = iterations;
+    return res;
+}
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
+    obs::ScopedSpan span("lp.solve");
+    LpResult res = solve_lp_impl(problem, opts);
+    auto& reg = obs::Registry::global();
+    reg.counter("lp.solves").add(1);
+    reg.counter("lp.iterations").add(res.iterations);
     return res;
 }
 

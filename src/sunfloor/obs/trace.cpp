@@ -1,0 +1,318 @@
+#include "sunfloor/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor::obs {
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+namespace {
+
+struct TraceEvent {
+    const char* name;
+    const char* arg_name;  ///< nullptr = no args object
+    long long arg_value;
+    std::uint64_t ts_ns;   ///< since start_tracing()
+    char phase;            ///< 'B' or 'E'
+};
+
+/// One thread's recording buffer. Owned jointly by the thread (its
+/// thread_local slot) and the global buffer list, so a worker thread
+/// exiting before stop_tracing() leaves its events intact.
+struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+};
+
+std::mutex g_mu;
+std::vector<std::shared_ptr<ThreadBuffer>> g_buffers;
+std::uint32_t g_next_tid = 1;
+std::chrono::steady_clock::time_point g_t0;
+/// Bumped on start_tracing(); a thread whose cached buffer belongs to an
+/// earlier trace re-registers instead of appending to stale storage.
+std::atomic<std::uint64_t> g_epoch{0};
+
+struct ThreadSlot {
+    std::shared_ptr<ThreadBuffer> buf;
+    std::uint64_t epoch = 0;
+};
+
+ThreadBuffer& thread_buffer() {
+    thread_local ThreadSlot slot;
+    // Lock-free steady state: after a thread's first span of a trace its
+    // cached buffer matches the epoch and appends take no lock.
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    if (slot.epoch != epoch || !slot.buf) {
+        std::lock_guard<std::mutex> lock(g_mu);
+        slot.buf = std::make_shared<ThreadBuffer>();
+        slot.buf->tid = g_next_tid++;
+        slot.epoch = epoch;
+        g_buffers.push_back(slot.buf);
+    }
+    return *slot.buf;
+}
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_t0)
+            .count());
+}
+
+void record(const char* name, char phase, const char* arg_name,
+            long long arg_value) {
+    // The common case takes no lock: the buffer was registered on this
+    // thread's first span of the trace and only this thread appends.
+    thread_buffer().events.push_back(
+        {name, arg_name, arg_value, now_ns(), phase});
+}
+
+}  // namespace
+
+void span_begin(const char* name) { record(name, 'B', nullptr, 0); }
+
+void span_begin(const char* name, const char* arg_name, long long arg_value) {
+    record(name, 'B', arg_name, arg_value);
+}
+
+void span_end(const char* name) { record(name, 'E', nullptr, 0); }
+
+}  // namespace detail
+
+bool start_tracing() {
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    if (detail::g_tracing.load(std::memory_order_relaxed)) return false;
+    detail::g_buffers.clear();
+    detail::g_next_tid = 1;
+    ++detail::g_epoch;
+    detail::g_t0 = std::chrono::steady_clock::now();
+    detail::g_tracing.store(true, std::memory_order_release);
+    return true;
+}
+
+namespace {
+
+/// The span's category: the name up to its first '.', so "pipeline",
+/// "explore", "sim", ... become Perfetto track filters for free.
+std::string span_category(const char* name) {
+    const char* dot = std::strchr(name, '.');
+    return dot ? std::string(name, dot) : std::string(name);
+}
+
+}  // namespace
+
+bool stop_tracing(std::ostream& os) {
+    std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(detail::g_mu);
+        if (!detail::g_tracing.load(std::memory_order_relaxed)) return false;
+        detail::g_tracing.store(false, std::memory_order_release);
+        buffers.swap(detail::g_buffers);
+    }
+
+    struct Flat {
+        const detail::TraceEvent* ev;
+        std::uint32_t tid;
+    };
+    std::vector<Flat> all;
+    for (const auto& b : buffers)
+        for (const auto& ev : b->events) all.push_back({&ev, b->tid});
+    // Stable: same-timestamp events keep their per-thread order, so a
+    // zero-duration span still writes B before E.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Flat& a, const Flat& b) {
+                         return a.ev->ts_ns < b.ev->ts_ns;
+                     });
+
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const detail::TraceEvent& ev = *all[i].ev;
+        os << "{\"name\": \"" << ev.name << "\", \"cat\": \""
+           << span_category(ev.name) << "\", \"ph\": \"" << ev.phase
+           << "\", \"ts\": "
+           << format("%.3f", static_cast<double>(ev.ts_ns) / 1000.0)
+           << ", \"pid\": 1, \"tid\": " << all[i].tid;
+        if (ev.arg_name)
+            os << ", \"args\": {\"" << ev.arg_name
+               << "\": " << ev.arg_value << "}";
+        os << "}" << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    os << "]\n}\n";
+    return true;
+}
+
+void discard_trace() {
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    detail::g_tracing.store(false, std::memory_order_release);
+    detail::g_buffers.clear();
+}
+
+std::size_t trace_buffered_events() {
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    std::size_t n = 0;
+    for (const auto& b : detail::g_buffers) n += b->events.size();
+    return n;
+}
+
+// --------------------------------------------------------- JSON checker
+
+namespace {
+
+struct JsonScanner {
+    std::string_view s;
+    std::size_t i = 0;
+
+    bool fail(std::string* error, const char* what) const {
+        if (error)
+            *error = format("%s at byte %zu", what, i);
+        return false;
+    }
+    void ws() {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r'))
+            ++i;
+    }
+    bool literal(std::string_view lit) {
+        if (s.substr(i, lit.size()) != lit) return false;
+        i += lit.size();
+        return true;
+    }
+    bool string(std::string* error) {
+        if (i >= s.size() || s[i] != '"') return fail(error, "expected '\"'");
+        ++i;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (c == '"') {
+                ++i;
+                return true;
+            }
+            if (c == '\\') {
+                ++i;
+                if (i >= s.size()) break;
+                const char e = s[i];
+                if (e == 'u') {
+                    for (int k = 1; k <= 4; ++k)
+                        if (i + static_cast<std::size_t>(k) >= s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s[i + static_cast<std::size_t>(k)])))
+                            return fail(error, "bad \\u escape");
+                    i += 4;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail(error, "bad escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail(error, "control character in string");
+            }
+            ++i;
+        }
+        return fail(error, "unterminated string");
+    }
+    bool number(std::string* error) {
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-') ++i;
+        if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+            return fail(error, "bad number");
+        while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            if (i >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[i])))
+                return fail(error, "bad fraction");
+            while (i < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[i])))
+                ++i;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+            if (i >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[i])))
+                return fail(error, "bad exponent");
+            while (i < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[i])))
+                ++i;
+        }
+        return i > start;
+    }
+    bool value(std::string* error, int depth) {
+        if (depth > 256) return fail(error, "nesting too deep");
+        ws();
+        if (i >= s.size()) return fail(error, "unexpected end");
+        const char c = s[i];
+        if (c == '{') {
+            ++i;
+            ws();
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                ws();
+                if (!string(error)) return false;
+                ws();
+                if (i >= s.size() || s[i] != ':')
+                    return fail(error, "expected ':'");
+                ++i;
+                if (!value(error, depth + 1)) return false;
+                ws();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                if (i < s.size() && s[i] == '}') {
+                    ++i;
+                    return true;
+                }
+                return fail(error, "expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++i;
+            ws();
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                if (!value(error, depth + 1)) return false;
+                ws();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                if (i < s.size() && s[i] == ']') {
+                    ++i;
+                    return true;
+                }
+                return fail(error, "expected ',' or ']'");
+            }
+        }
+        if (c == '"') return string(error);
+        if (literal("true") || literal("false") || literal("null"))
+            return true;
+        return number(error);
+    }
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+    JsonScanner sc{text};
+    if (!sc.value(error, 0)) return false;
+    sc.ws();
+    if (sc.i != text.size()) return sc.fail(error, "trailing content");
+    return true;
+}
+
+}  // namespace sunfloor::obs

@@ -11,6 +11,7 @@
 #include "sunfloor/core/path_compute.h"
 #include "sunfloor/core/switch_placement.h"
 #include "sunfloor/noc/deadlock.h"
+#include "sunfloor/obs/trace.h"
 #include "sunfloor/util/strings.h"
 
 namespace sunfloor::pipeline {
@@ -333,8 +334,23 @@ struct SynthesisSession::GraphEntry {
     LayerGraph layer;  ///< LPG
 };
 
+SynthesisSession::StageMetrics SynthesisSession::stage_metrics(
+    const char* stage) {
+    StageMetrics m;
+    m.hits = &registry_.counter(format("pipeline.%s.hits", stage));
+    m.misses = &registry_.counter(format("pipeline.%s.misses", stage));
+    m.compute_ms = &registry_.gauge(format("pipeline.%s.compute_ms", stage));
+    return m;
+}
+
 SynthesisSession::SynthesisSession(DesignSpec spec, SessionOptions opts)
-    : spec_(std::move(spec)), opts_(opts) {}
+    : spec_(std::move(spec)), opts_(opts) {
+    m_partition_ = stage_metrics("partition");
+    m_routing_ = stage_metrics("routing");
+    m_placement_ = stage_metrics("placement");
+    m_position_lp_ = stage_metrics("position_lp");
+    m_evaluation_ = stage_metrics("evaluation");
+}
 
 std::shared_ptr<const SynthesisSession::GraphEntry>
 SynthesisSession::graph_for(const PartitionGraphId& graph, double alpha) {
@@ -381,11 +397,12 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
         std::lock_guard<std::mutex> lock(mu_);
         auto it = partitions_.find(key);
         if (it != partitions_.end()) {
-            ++stats_.partition.hits;
+            m_partition_.hits->add();
             return it->second;
         }
     }
 
+    obs::ScopedSpan span("pipeline.partition", "k", k);
     const auto t0 = std::chrono::steady_clock::now();
     const auto entry = graph_for(graph, cfg.alpha);
     const Digraph& g = graph.kind == PartitionGraphId::Kind::LPG
@@ -398,11 +415,10 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
     artifact->cut_weight = res.cut_weight;
     artifact->k = k;
     artifact->rng_after = rng.state();
-    const double ms = ms_since(t0);
+    m_partition_.misses->add();
+    m_partition_.compute_ms->add(ms_since(t0));
 
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.partition.misses;
-    stats_.partition.compute_ms += ms;
     if (!opts_.cache_partitions) return artifact;
     // Two threads may have raced on the same key; both values are
     // bit-identical, keep the first inserted.
@@ -416,19 +432,19 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
         std::lock_guard<std::mutex> lock(mu_);
         auto it = routings_.find(key);
         if (it != routings_.end()) {
-            ++stats_.routing.hits;
+            m_routing_.hits->add();
             return it->second;
         }
     }
 
+    obs::ScopedSpan span("pipeline.routing");
     const auto t0 = std::chrono::steady_clock::now();
     auto artifact = std::make_shared<RoutingArtifact>(
         route_assignment(spec_, cfg, assign.assign));
-    const double ms = ms_since(t0);
+    m_routing_.misses->add();
+    m_routing_.compute_ms->add(ms_since(t0));
 
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.routing.misses;
-    stats_.routing.compute_ms += ms;
     if (!opts_.cache_designs) return artifact;
     return routings_.emplace(key, std::move(artifact)).first->second;
 }
@@ -446,11 +462,12 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
         std::lock_guard<std::mutex> lock(mu_);
         auto it = placements_.find(key);
         if (it != placements_.end()) {
-            ++stats_.placement.hits;
+            m_placement_.hits->add();
             return it->second;
         }
     }
 
+    obs::ScopedSpan span("pipeline.placement");
     const auto t0 = std::chrono::steady_clock::now();
     Rng rng(Rng::kDefaultSeed);
     const RngState rng_before = rng.state();
@@ -468,19 +485,19 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
             std::lock_guard<std::mutex> lock(mu_);
             auto it = lp_solutions_.find(lp_key);
             if (it != lp_solutions_.end()) {
-                ++stats_.position_lp.hits;
+                m_position_lp_.hits->add();
                 solution = it->second;
             }
         }
         if (!solution) {
+            obs::ScopedSpan lp_span("pipeline.position_lp");
             const auto lp_t0 = std::chrono::steady_clock::now();
             bool lp_ok = false;
             auto computed = std::make_shared<PlacementResult>(
                 solve_switch_placement(problem, lp_ok));
-            const double lp_ms = ms_since(lp_t0);
+            m_position_lp_.misses->add();
+            m_position_lp_.compute_ms->add(ms_since(lp_t0));
             std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.position_lp.misses;
-            stats_.position_lp.compute_ms += lp_ms;
             solution =
                 opts_.cache_designs
                     ? lp_solutions_.emplace(lp_key, std::move(computed))
@@ -492,6 +509,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
                 solution->positions[static_cast<std::size_t>(s)];
     }
     if (cfg.run_floorplan) {
+        obs::ScopedSpan fp_span("pipeline.floorplan");
         const FloorplanOutcome fp = legalize_floorplan(
             artifact->topo, spec_, cfg, /*use_standard=*/false, rng);
         artifact->layer_die_area_mm2 = fp.layer_area_mm2;
@@ -503,11 +521,10 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
         throw std::logic_error(
             "pipeline placement stage consumed the RNG; its cache key "
             "must include the generator state");
-    const double ms = ms_since(t0);
+    m_placement_.misses->add();
+    m_placement_.compute_ms->add(ms_since(t0));
 
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.placement.misses;
-    stats_.placement.compute_ms += ms;
     if (!opts_.cache_designs) return artifact;
     return placements_.emplace(key, std::move(artifact)).first->second;
 }
@@ -525,19 +542,19 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
         std::lock_guard<std::mutex> lock(mu_);
         auto it = evaluations_.find(key);
         if (it != evaluations_.end()) {
-            ++stats_.evaluation.hits;
+            m_evaluation_.hits->add();
             return it->second;
         }
     }
 
+    obs::ScopedSpan span("pipeline.evaluation");
     const auto t0 = std::chrono::steady_clock::now();
     auto artifact = std::make_shared<EvaluatedDesign>(
         evaluate_design(placed, spec_, cfg));
-    const double ms = ms_since(t0);
+    m_evaluation_.misses->add();
+    m_evaluation_.compute_ms->add(ms_since(t0));
 
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.evaluation.misses;
-    stats_.evaluation.compute_ms += ms;
     if (!opts_.cache_designs) return artifact;
     return evaluations_.emplace(key, std::move(artifact)).first->second;
 }
@@ -587,8 +604,10 @@ std::vector<DesignPoint> SynthesisSession::phase1(const SynthesisConfig& cfg,
     // Steps 4-10: sweep the switch count over min-cut partitions of PG.
     for (int i = lo; i <= hi; ++i) {
         const auto part = cut(PartitionGraphId::pg(), i);
-        const AssignmentArtifact assign =
-            phase1_assignment(*part, spec_.cores);
+        const AssignmentArtifact assign = [&] {
+            obs::ScopedSpan span("pipeline.assignment");
+            return phase1_assignment(*part, spec_.cores);
+        }();
         DesignPoint dp = synthesize(assign, cfg, "phase1", 0.0, timing);
         if (!dp.valid) unmet.insert(i);
         points.push_back(std::move(dp));
@@ -603,8 +622,10 @@ std::vector<DesignPoint> SynthesisSession::phase1(const SynthesisConfig& cfg,
         for (auto it = unmet.begin(); it != unmet.end();) {
             const int i = *it;
             const auto part = cut(spg, i);
-            const AssignmentArtifact assign =
-                phase1_assignment(*part, spec_.cores);
+            const AssignmentArtifact assign = [&] {
+                obs::ScopedSpan span("pipeline.assignment");
+                return phase1_assignment(*part, spec_.cores);
+            }();
             DesignPoint dp =
                 synthesize(assign, cfg, "phase1", theta, timing);
             if (dp.valid) {
@@ -656,33 +677,38 @@ std::vector<DesignPoint> SynthesisSession::phase2(const SynthesisConfig& cfg,
         AssignmentArtifact aa;
         aa.assign.core_switch.assign(
             static_cast<std::size_t>(spec_.cores.num_cores()), -1);
-        for (int ly = 0; ly < layers; ++ly) {
-            const auto& lg = lpg[static_cast<std::size_t>(ly)]->layer;
-            const int cores_in_layer = static_cast<int>(lg.core_ids.size());
-            if (cores_in_layer == 0) continue;
-            const int np = std::min(ni[static_cast<std::size_t>(ly)] + i,
-                                    cores_in_layer);
-            PartitionOptions popts = cfg.partition;
-            // "About equal number of cores" per block (Algorithm 2), and
-            // never more than a max-size switch can serve.
-            popts.max_block_size =
-                std::min(max_block, (cores_in_layer + np - 1) / np);
-            std::shared_ptr<const PartitionArtifact> part;
-            {
-                ScopedStageTime st(timing, &StageTiming::partition_ms);
-                part = partition(PartitionGraphId::lpg(ly), np, cfg, popts,
-                                 rng);
-                rng = part->rng_after;
+        {
+            obs::ScopedSpan assign_span("pipeline.assignment", "sweep", i);
+            for (int ly = 0; ly < layers; ++ly) {
+                const auto& lg = lpg[static_cast<std::size_t>(ly)]->layer;
+                const int cores_in_layer =
+                    static_cast<int>(lg.core_ids.size());
+                if (cores_in_layer == 0) continue;
+                const int np = std::min(ni[static_cast<std::size_t>(ly)] + i,
+                                        cores_in_layer);
+                PartitionOptions popts = cfg.partition;
+                // "About equal number of cores" per block (Algorithm 2),
+                // and never more than a max-size switch can serve.
+                popts.max_block_size =
+                    std::min(max_block, (cores_in_layer + np - 1) / np);
+                std::shared_ptr<const PartitionArtifact> part;
+                {
+                    ScopedStageTime st(timing, &StageTiming::partition_ms);
+                    part = partition(PartitionGraphId::lpg(ly), np, cfg,
+                                     popts, rng);
+                    rng = part->rng_after;
+                }
+                const int base = aa.assign.num_switches();
+                for (int s = 0; s < np; ++s)
+                    aa.assign.switch_layer.push_back(ly);
+                for (int v = 0; v < cores_in_layer; ++v)
+                    aa.assign.core_switch[static_cast<std::size_t>(
+                        lg.core_ids[static_cast<std::size_t>(v)])] =
+                        base + part->block[static_cast<std::size_t>(v)];
             }
-            const int base = aa.assign.num_switches();
-            for (int s = 0; s < np; ++s) aa.assign.switch_layer.push_back(ly);
-            for (int v = 0; v < cores_in_layer; ++v)
-                aa.assign.core_switch[static_cast<std::size_t>(
-                    lg.core_ids[static_cast<std::size_t>(v)])] =
-                    base + part->block[static_cast<std::size_t>(v)];
+            aa.rng_after = rng;
+            aa.key = assignment_key(aa.assign);
         }
-        aa.rng_after = rng;
-        aa.key = assignment_key(aa.assign);
         DesignPoint dp = synthesize(aa, cfg2, "phase2", 0.0, timing);
         points.push_back(std::move(dp));
     }
@@ -718,8 +744,20 @@ SynthesisResult SynthesisSession::run(const SynthesisConfig& cfg,
 }
 
 SessionStats SynthesisSession::stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    auto read = [](const StageMetrics& m) {
+        StageCounters c;
+        c.hits = m.hits->value();
+        c.misses = m.misses->value();
+        c.compute_ms = m.compute_ms->value();
+        return c;
+    };
+    SessionStats s;
+    s.partition = read(m_partition_);
+    s.routing = read(m_routing_);
+    s.placement = read(m_placement_);
+    s.position_lp = read(m_position_lp_);
+    s.evaluation = read(m_evaluation_);
+    return s;
 }
 
 std::size_t SynthesisSession::artifact_count() const {
@@ -729,14 +767,18 @@ std::size_t SynthesisSession::artifact_count() const {
 }
 
 void SynthesisSession::clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    graphs_.clear();
-    partitions_.clear();
-    routings_.clear();
-    placements_.clear();
-    lp_solutions_.clear();
-    evaluations_.clear();
-    stats_ = SessionStats{};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        graphs_.clear();
+        partitions_.clear();
+        routings_.clear();
+        placements_.clear();
+        lp_solutions_.clear();
+        evaluations_.clear();
+    }
+    // Local instruments restart from zero; the global registry keeps its
+    // process-wide totals (reset() never touches the parent).
+    registry_.reset();
 }
 
 }  // namespace sunfloor::pipeline

@@ -44,6 +44,7 @@
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/lp/placement_lp.h"
+#include "sunfloor/obs/metrics.h"
 #include "sunfloor/pipeline/artifacts.h"
 
 namespace sunfloor::pipeline {
@@ -137,6 +138,9 @@ struct StageCounters {
     long long calls() const { return hits + misses; }
 };
 
+/// Snapshot view over the session's metrics registry (stats() builds one
+/// from the "pipeline.<stage>.*" instruments). The same adds flow into
+/// obs::Registry::global(), so `--metrics` sees process-wide totals.
 struct SessionStats {
     StageCounters partition;
     StageCounters routing;
@@ -206,8 +210,12 @@ class SynthesisSession {
     SynthesisResult run(const SynthesisConfig& cfg,
                         SynthesisPhase phase = SynthesisPhase::Auto);
 
-    /// Cumulative cache accounting since construction (or clear()).
+    /// Cumulative cache accounting since construction (or clear()) — a
+    /// snapshot of this session's registry instruments.
     SessionStats stats() const;
+
+    /// This session's metrics registry (parented to Registry::global()).
+    obs::Registry& registry() { return registry_; }
 
     /// Cached artifacts over all stages (graphs excluded).
     std::size_t artifact_count() const;
@@ -218,6 +226,16 @@ class SynthesisSession {
   private:
     struct GraphEntry;
 
+    /// Resolved instrument handles for one stage's hit/miss/compute-time
+    /// accounting ("pipeline.<stage>.hits" and friends). Resolved once at
+    /// construction; stage hot paths bump them with single atomic adds.
+    struct StageMetrics {
+        obs::Counter* hits = nullptr;
+        obs::Counter* misses = nullptr;
+        obs::Gauge* compute_ms = nullptr;
+    };
+    StageMetrics stage_metrics(const char* stage);
+
     /// Build-or-fetch the partition graph named by `graph` for this
     /// spec + alpha (graph construction is deterministic and cheap; the
     /// cache just avoids rebuilding per call).
@@ -226,6 +244,13 @@ class SynthesisSession {
 
     DesignSpec spec_;
     SessionOptions opts_;
+
+    obs::Registry registry_{&obs::Registry::global()};
+    StageMetrics m_partition_;
+    StageMetrics m_routing_;
+    StageMetrics m_placement_;
+    StageMetrics m_position_lp_;
+    StageMetrics m_evaluation_;
 
     mutable std::mutex mu_;
     std::unordered_map<std::string, std::shared_ptr<const GraphEntry>>
@@ -240,7 +265,6 @@ class SynthesisSession {
         lp_solutions_;
     std::unordered_map<std::string, std::shared_ptr<const EvaluatedDesign>>
         evaluations_;
-    SessionStats stats_;
 };
 
 }  // namespace sunfloor::pipeline

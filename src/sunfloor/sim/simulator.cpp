@@ -6,6 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
 #include "sunfloor/routing/route_sets.h"
 
 namespace sunfloor::sim {
@@ -141,8 +143,17 @@ class Engine {
         const int L = topo_.num_links();
         for (int l = 0; l < L; ++l) {
             const auto ul = static_cast<std::size_t>(l);
-            if (into_switch_[ul] && occ_[ul] >= depth_) continue;  // no credit
             const NodeRef src = topo_.link(l).src;
+            if (into_switch_[ul] && occ_[ul] >= depth_) {  // no credit
+                // Backpressure accounting: count the stalled cycle only
+                // when the link had a flit ready (a wormhole continuation
+                // or a waiting injection; free-link head demand is not
+                // scanned — that would cost an arbitration pass).
+                if (owner_active_[ul] ||
+                    (src.is_core() && !inj_q_[ul].empty()))
+                    ++obs_.backpressure_stall_cycles;
+                continue;
+            }
             if (src.is_core()) {
                 if (!inj_q_[ul].empty()) decisions_.push_back({l, -1, -1});
                 continue;
@@ -166,6 +177,10 @@ class Engine {
             const auto& ins =
                 switch_inputs_[static_cast<std::size_t>(src.index)];
             const int n = static_cast<int>(ins.size());
+            // The first eligible input in round-robin order wins (as
+            // before); the scan continues only to count the losers as
+            // arbitration conflicts.
+            int contenders = 0;
             for (int k = 1; k <= n; ++k) {
                 const int pos = (rr_[ul] + k) % n;
                 const int in = ins[static_cast<std::size_t>(pos)];
@@ -179,15 +194,36 @@ class Engine {
                                f.hop)] != l) {
                     continue;
                 }
-                decisions_.push_back({l, in, pos});
-                break;
+                if (++contenders == 1) decisions_.push_back({l, in, pos});
             }
+            if (contenders > 1)
+                obs_.arbitration_conflicts += contenders - 1;
         }
         const bool in_window = T >= win_begin_ && T < win_end_;
         for (const auto& d : decisions_) apply(d, T, in_window);
     }
 
     long long flits_in_network() const { return flits_in_network_; }
+
+    /// Instrumentation-only accounting, pushed into the global metrics
+    /// registry by simulate() after the run. Plain fields: one engine is
+    /// always driven by one thread, and nothing here feeds the SimReport.
+    struct ObsCounters {
+        long long backpressure_stall_cycles = 0;
+        long long arbitration_conflicts = 0;
+    };
+    ObsCounters obs_;
+
+    /// Observe every switch-input FIFO's occupancy and the total
+    /// injection-queue depth (called by simulate() every 64 cycles).
+    void sample_occupancy(obs::Histogram& occ_h, obs::Histogram& inj_h) {
+        for (std::size_t l = 0; l < occ_.size(); ++l)
+            if (into_switch_[l])
+                occ_h.observe(static_cast<double>(occ_[l]));
+        long long depth = 0;
+        for (const auto& q : inj_q_) depth += static_cast<long long>(q.size());
+        inj_h.observe(static_cast<double>(depth));
+    }
 
     // --- counters simulate() folds into the SimReport -------------------
     long long injected_packets_ = 0;  ///< measured population
@@ -405,22 +441,41 @@ SimReport simulate(const Topology& topo, const DesignSpec& spec,
     const long long we = wb + params.measure_cycles;
     eng.set_window(wb, we);
 
+    auto& reg = obs::Registry::global();
+    obs::Histogram& occ_hist = reg.histogram(
+        "sim.buffer_occupancy_flits", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0});
+    obs::Histogram& injq_hist = reg.histogram(
+        "sim.injection_queue_depth_flits",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0});
+
     long long T = 0;
-    for (; T < we; ++T) {
-        eng.begin_cycle(T);
+    const auto step = [&](long long now) {
+        eng.begin_cycle(now);
         for (int f = 0; f < topo.num_flows(); ++f)
             if (inj.step(f, rng))
-                eng.inject_packet(f, params.inject.packet_length_flits, T,
-                                  T >= wb);
-        eng.end_cycle(T);
+                eng.inject_packet(f, params.inject.packet_length_flits, now,
+                                  now >= wb);
+        eng.end_cycle(now);
+        if ((now & 63) == 0) eng.sample_occupancy(occ_hist, injq_hist);
+    };
+    {
+        obs::ScopedSpan span("sim.warmup", "cycles", wb);
+        for (; T < wb; ++T) step(T);
+    }
+    {
+        obs::ScopedSpan span("sim.measure", "cycles", params.measure_cycles);
+        for (; T < we; ++T) step(T);
     }
     // Injection stopped; run the network empty. Measured packets still in
     // flight keep being recorded as they land.
     const long long drain_end = we + params.drain_max_cycles;
-    while (eng.flits_in_network() > 0 && T < drain_end) {
-        eng.begin_cycle(T);
-        eng.end_cycle(T);
-        ++T;
+    {
+        obs::ScopedSpan span("sim.drain");
+        while (eng.flits_in_network() > 0 && T < drain_end) {
+            eng.begin_cycle(T);
+            eng.end_cycle(T);
+            ++T;
+        }
     }
 
     SimReport rep;
@@ -438,6 +493,21 @@ SimReport simulate(const Topology& topo, const DesignSpec& spec,
     rep.drained = eng.flits_in_network() == 0;
     rep.cycles_run = T;
     rep.in_flight_flits_at_end = eng.flits_in_network();
+
+    // Push the run's instrumentation into the registry — after the report
+    // is assembled, so metrics can never feed back into results.
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.cycles").add(T);
+    reg.counter("sim.backpressure_stall_cycles")
+        .add(eng.obs_.backpressure_stall_cycles);
+    reg.counter("sim.arbitration_conflicts")
+        .add(eng.obs_.arbitration_conflicts);
+    reg.counter("sim.injected_flits").add(eng.injected_flits_);
+    reg.counter("sim.received_flits").add(eng.received_flits_);
+    obs::Histogram& util_hist = reg.histogram(
+        "sim.link_utilization",
+        {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0});
+    for (double u : rep.link_utilization) util_hist.observe(u);
     return rep;
 }
 

@@ -71,6 +71,12 @@
 //   --warmup <cycles>         warmup phase               (default 2000)
 //   --measure <cycles>        measurement window         (default 10000)
 //   --out <prefix>            write <prefix>_sim.csv
+//
+// Observability (synth, explore and simulate):
+//   --trace <file>            span trace of the run, Chrome/Perfetto
+//                             trace-event JSON (open in ui.perfetto.dev)
+//   --metrics <file|->        metrics-registry snapshot JSON; '-' writes
+//                             to stdout for scripting
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -86,6 +92,8 @@
 #include "sunfloor/io/dot.h"
 #include "sunfloor/io/floorplan_dump.h"
 #include "sunfloor/io/report.h"
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
 #include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/simulator.h"
 #include "sunfloor/spec/benchmarks.h"
@@ -102,7 +110,8 @@ int usage(const char* argv0) {
                  "[--freq MHz[,MHz...]] [--max-ill N] [--alpha A] "
                  "[--phase auto|1|2] [--routing up-down|west-first|odd-even] "
                  "[--seed N] [--no-floorplan] "
-                 "[--out prefix] [--list-benchmarks]\n"
+                 "[--out prefix] [--trace file] [--metrics file|-] "
+                 "[--list-benchmarks]\n"
                  "       %s explore (--design <file> | --benchmark <name> | "
                  "--family pipeline|hub|layered-dag [generator knobs] "
                  "[--instances N] [--gen-seed N]) "
@@ -112,13 +121,14 @@ int usage(const char* argv0) {
                  "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
                  "[--no-stage-reuse] [--backend analytic|sim] [--rate S] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
-                 "[--out prefix]\n"
+                 "[--out prefix] [--trace file] [--metrics file|-]\n"
                  "       %s simulate (--design <file> | --benchmark <name>) "
                  "[--freq MHz] [--max-ill N] [--alpha A] [--phase auto|1|2] "
                  "[--routing up-down|west-first|odd-even] "
                  "[--seed N] [--no-floorplan] [--rate S[,S...]] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
-                 "[--buffers N] [--warmup N] [--measure N] [--out prefix]\n"
+                 "[--buffers N] [--warmup N] [--measure N] [--out prefix] "
+                 "[--trace file] [--metrics file|-]\n"
                  "       %s generate --family pipeline|hub|layered-dag "
                  "[--cores N] [--layers N] [--peak-bw MBPS] [--skew S] "
                  "[--lat-slack S] [--resp F] [--hubs K] [--hotspot F] "
@@ -162,6 +172,100 @@ int bad_enum_value(const char* flag, const char* value,
                  value ? value : "", choices.c_str());
     return 2;
 }
+
+/// `--trace <file>` / `--metrics <file|->` handling shared by the synth,
+/// explore and simulate subcommands. Sinks are opened before the run, so
+/// a bad path fails fast with a named-path error instead of after minutes
+/// of work; finish() writes both files once the run is quiescent. An
+/// early error return drops a started trace in the destructor.
+class ObsSinks {
+  public:
+    ~ObsSinks() {
+        if (tracing_) obs::discard_trace();
+    }
+
+    /// 1 = consumed, 0 = not an obs flag, -1 = missing value.
+    template <typename NextFn>
+    int parse_flag(const std::string& arg, NextFn&& next) {
+        if (arg == "--trace") {
+            const char* v = next();
+            if (!v) return -1;
+            trace_path_ = v;
+            return 1;
+        }
+        if (arg == "--metrics") {
+            const char* v = next();
+            if (!v) return -1;
+            metrics_path_ = v;
+            return 1;
+        }
+        return 0;
+    }
+
+    /// Open both sinks and start recording. False (message printed) when
+    /// a path cannot be written.
+    bool open() {
+        if (!trace_path_.empty()) {
+            trace_out_.open(trace_path_);
+            if (!trace_out_) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_path_.c_str());
+                return false;
+            }
+            tracing_ = obs::start_tracing();
+        }
+        if (!metrics_path_.empty() && metrics_path_ != "-") {
+            metrics_out_.open(metrics_path_);
+            if (!metrics_out_) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             metrics_path_.c_str());
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Merge and write the trace, snapshot the metrics registry. Call
+    /// after the run's thread pools have joined. False on write failure.
+    bool finish() {
+        bool ok = true;
+        if (tracing_) {
+            obs::stop_tracing(trace_out_);
+            tracing_ = false;
+            trace_out_.flush();
+            if (!trace_out_) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_path_.c_str());
+                ok = false;
+            } else {
+                std::printf("wrote %s\n", trace_path_.c_str());
+            }
+        }
+        if (!metrics_path_.empty()) {
+            if (metrics_path_ == "-") {
+                obs::Registry::global().write_json(std::cout);
+            } else {
+                obs::Registry::global().write_json(metrics_out_);
+                metrics_out_.flush();
+                if (!metrics_out_) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 metrics_path_.c_str());
+                    ok = false;
+                } else {
+                    std::printf("wrote %s\n", metrics_path_.c_str());
+                }
+            }
+        }
+        return ok;
+    }
+
+  private:
+    std::string trace_path_;
+    std::string metrics_path_;
+    std::ofstream trace_out_;
+    std::ofstream metrics_out_;
+    bool tracing_ = false;
+};
 
 /// Parse a "400,600" MHz list into Hz, shared by both subcommands; prints
 /// the offending token and returns false on a malformed or non-positive
@@ -397,6 +501,7 @@ int run_explore(int argc, char** argv) {
     int instances = 4;
     long long gen_seed = 1;
     std::string family_only_flag;  // generator flag seen, for validation
+    ObsSinks sinks;
 
     for (int i = 2; i < argc; ++i) try {
         const std::string arg = argv[i];
@@ -512,6 +617,9 @@ int run_explore(int argc, char** argv) {
                 return usage(argv[0]);
             family_only_flag = "--gen-seed";
         } else {
+            const int ob = sinks.parse_flag(arg, next);
+            if (ob < 0) return usage(argv[0]);
+            if (ob == 1) continue;
             const int r = parse_gen_flag(arg, next, gp, have_family);
             if (r < 0) return 2;
             if (r == 0) {
@@ -542,8 +650,14 @@ int run_explore(int argc, char** argv) {
         return 2;
     }
 
-    if (have_family) return run_explore_family(gp, instances, gen_seed,
-                                               cfg, grid, opts, out_prefix);
+    if (!sinks.open()) return 1;
+
+    if (have_family) {
+        const int rc = run_explore_family(gp, instances, gen_seed, cfg,
+                                          grid, opts, out_prefix);
+        if (!sinks.finish() && rc == 0) return 1;
+        return rc;
+    }
 
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
@@ -554,6 +668,7 @@ int run_explore(int argc, char** argv) {
 
     const Explorer explorer(spec, cfg, opts);
     const ExploreResult res = explorer.run(grid);
+    if (!sinks.finish()) return 1;
 
     const auto& st = res.stats;
     std::printf(
@@ -645,6 +760,7 @@ int run_simulate(int argc, char** argv) {
     SynthesisPhase phase = SynthesisPhase::Auto;
     sim::SimParams sp;
     std::vector<double> rates{0.25, 0.5, 0.75, 1.0};
+    ObsSinks sinks;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -726,11 +842,15 @@ int run_simulate(int argc, char** argv) {
             if (!v) return usage(argv[0]);
             out_prefix = v;
         } else {
+            const int ob = sinks.parse_flag(arg, next);
+            if (ob < 0) return usage(argv[0]);
+            if (ob == 1) continue;
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return usage(argv[0]);
         }
     }
     if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+    if (!sinks.open()) return 1;
 
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
@@ -770,6 +890,7 @@ int run_simulate(int argc, char** argv) {
                    static_cast<long long>(rep.received_packets),
                    static_cast<long long>(rep.drained ? 1 : 0)});
     }
+    if (!sinks.finish()) return 1;
     t.write_pretty(std::cout);
 
     if (!out_prefix.empty()) {
@@ -790,6 +911,7 @@ int run_synthesize(int argc, char** argv) {
     std::vector<double> freqs_hz{400e6};
     SynthesisConfig cfg;
     SynthesisPhase phase = SynthesisPhase::Auto;
+    ObsSinks sinks;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -841,11 +963,15 @@ int run_synthesize(int argc, char** argv) {
             if (!v) return usage(argv[0]);
             out_prefix = v;
         } else {
+            const int ob = sinks.parse_flag(arg, next);
+            if (ob < 0) return usage(argv[0]);
+            if (ob == 1) continue;
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return usage(argv[0]);
         }
     }
     if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+    if (!sinks.open()) return 1;
 
     DesignSpec spec;
     if (!load_spec(design_file, benchmark, spec)) return 1;
@@ -855,6 +981,7 @@ int run_synthesize(int argc, char** argv) {
 
     Synthesizer synth(spec, cfg);
     const auto sweep = synth.run_frequency_sweep(freqs_hz, phase);
+    if (!sinks.finish()) return 1;
     for (const auto& fp : sweep) {
         std::printf("\n=== %.0f MHz ===\n", fp.freq_hz / 1e6);
         write_synthesis_report(std::cout, fp.result);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "sunfloor/obs/trace.h"
+
 namespace sunfloor {
 
 int ThreadPool::default_thread_count() {
@@ -79,6 +81,7 @@ void ThreadPool::worker_loop() {
             ++busy_;
         }
         try {
+            obs::ScopedSpan span("pool.task");
             task();
         } catch (...) {
             // submit() discards escaping exceptions (see header); letting
