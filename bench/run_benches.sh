@@ -8,7 +8,10 @@
 #     (spec-generation throughput per family/core count, and generated-
 #     family sweep throughput at 1 and 4 threads)
 #   bench_sim_throughput  -> BENCH_sim.json (latency-vs-injection-rate
-#     curves per paper benchmark)
+#     curves per paper benchmark, with engine speed in flits/sec; set
+#     SIM_FLITS_FLOOR=<flits/sec> to fail the run when the peak engine
+#     speed over the sweep falls below the floor — a cheap throughput
+#     regression gate for CI)
 #   bench_obs_overhead    -> BENCH_obs.json (ScopedSpan guard cost with
 #     and without a sink, traced-vs-untraced exploration wall time, and
 #     the estimated no-sink instrumentation overhead vs the < 2% bar)
@@ -220,9 +223,12 @@ for b in raw.get("benchmarks", []):
     design = b["name"].split("/")[1]
     rows.setdefault((design, round(b["rate"], 4)), []).append(b)
 curves = {}
+peak_flits_per_sec = 0.0
 for (design, rate), bs in sorted(rows.items()):
     n = len(bs)
     avg = lambda key: sum(b[key] for b in bs) / n
+    flits_per_sec = avg("flits_per_sec")
+    peak_flits_per_sec = max(peak_flits_per_sec, flits_per_sec)
     curves.setdefault(design, []).append({
         "rate": rate,
         "offered_flits_per_cycle": round(avg("offered_fpc"), 4),
@@ -233,12 +239,14 @@ for (design, rate), bs in sorted(rows.items()):
         "drained": int(min(b["drained"] for b in bs)),
         "repetitions": n,
         "sim_wall_ms": round(avg("real_time"), 3),
+        "flits_per_sec": round(flits_per_sec, 1),
     })
 
 out = {
     "bench": "bench_sim_throughput",
     "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
     "curves": curves,
+    "peak_flits_per_sec": round(peak_flits_per_sec, 1),
 }
 tmp = sys.argv[2] + ".tmp"
 with open(tmp, "w") as f:
@@ -246,6 +254,17 @@ with open(tmp, "w") as f:
     f.write("\n")
 os.replace(tmp, sys.argv[2])
 print(json.dumps(out, indent=2))
+
+# Throughput sanity floor: the *peak* over the sweep is the engine's
+# speed free of saturation effects, so it is the stable regression
+# signal. The floor should sit far below typical hardware (see ci.yml)
+# so only order-of-magnitude regressions — an accidental O(links) scan,
+# a reintroduced per-flit allocation — trip it, not machine variance.
+floor = float(os.environ.get("SIM_FLITS_FLOOR", "0") or "0")
+if floor > 0 and peak_flits_per_sec < floor:
+    print(f"error: peak sim throughput {peak_flits_per_sec:.0f} flits/sec "
+          f"is below SIM_FLITS_FLOOR={floor:.0f}", file=sys.stderr)
+    sys.exit(1)
 EOF
 
 # ------------------------------------------------------ obs overhead

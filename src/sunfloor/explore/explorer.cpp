@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 
 #include "sunfloor/obs/metrics.h"
@@ -290,6 +292,15 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
                     jobs.push_back({i, d});
             }
         }
+        // Distinct grid points routinely synthesize identical
+        // topologies (only non-architectural axes differ); cache built
+        // SimIndexes by content key so each distinct flattening happens
+        // once and is shared — the index is immutable, each job drives
+        // its own Simulator over it.
+        std::mutex index_mu;
+        std::unordered_map<std::string,
+                           std::shared_ptr<const sim::SimIndex>>
+            index_cache;
         const auto simulate_job = [&](std::size_t j) {
             const SimJob& job = jobs[j];
             obs::ScopedSpan span("explore.sim", "design", job.design);
@@ -301,11 +312,28 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
             // under: adaptive policies select outputs per hop, so the
             // routing axis shifts measured latency, not just the paths.
             sp.routing = cfg.routing;
+            const Topology& topo =
+                pr.result.points[static_cast<std::size_t>(job.design)].topo;
+            const std::string key =
+                sim::sim_index_key(topo, spec_, cfg.eval, sp.routing);
+            std::shared_ptr<const sim::SimIndex> index;
+            {
+                std::lock_guard<std::mutex> lock(index_mu);
+                auto it = index_cache.find(key);
+                if (it != index_cache.end()) index = it->second;
+            }
+            if (!index) {
+                // Built outside the lock: concurrent builders of the
+                // same key produce identical indexes, first insert wins.
+                auto built = std::make_shared<const sim::SimIndex>(
+                    sim::build_sim_index(topo, spec_, cfg.eval,
+                                         sp.routing));
+                std::lock_guard<std::mutex> lock(index_mu);
+                index = index_cache.emplace(key, std::move(built))
+                            .first->second;
+            }
             pr.sim_reports[static_cast<std::size_t>(job.design)] =
-                sim::simulate(
-                    pr.result.points[static_cast<std::size_t>(job.design)]
-                        .topo,
-                    spec_, cfg.eval, sp);
+                sim::Simulator(index).run(spec_, cfg.eval, sp);
         };
         int sim_threads = opts_.num_threads;
         if (sim_threads <= 0) sim_threads = ThreadPool::default_thread_count();

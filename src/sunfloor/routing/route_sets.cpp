@@ -58,6 +58,36 @@ int RouteSets::baked_next(int flow, int sw, int state) const {
     return per_flow.at(node(sw, state));
 }
 
+RouteSetsCsr RouteSets::export_csr(int num_switches) const {
+    RouteSetsCsr csr;
+    csr.num_states = num_states_;
+    csr.initial_state = initial_state_;
+    csr.adaptive = adaptive_;
+    const std::size_t F = options_.size();
+    const std::size_t nodes =
+        static_cast<std::size_t>(num_switches) * num_states_;
+    csr.opt_off.reserve(F * nodes + 1);
+    csr.opt_off.push_back(0);
+    csr.baked.assign(F * nodes, -1);
+    csr.first.assign(F, -1);
+    for (std::size_t f = 0; f < F; ++f) {
+        csr.first[f] = firsts_[f];
+        const auto& opts = options_[f];
+        const auto& baked = baked_[f];
+        for (std::size_t n = 0; n < nodes; ++n) {
+            if (!opts.empty()) {
+                for (const RouteOption& o : opts[n]) {
+                    csr.opt_link.push_back(o.link);
+                    csr.opt_state.push_back(o.next_state);
+                }
+                csr.baked[f * nodes + n] = baked[n];
+            }
+            csr.opt_off.push_back(static_cast<int>(csr.opt_link.size()));
+        }
+    }
+    return csr;
+}
+
 RouteSets build_route_sets(const Topology& topo, const DesignSpec& spec,
                            const RoutingPolicy& policy) {
     RouteSets rs;

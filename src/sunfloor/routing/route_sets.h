@@ -38,6 +38,22 @@ struct RouteOption {
     int next_state = 0;
 };
 
+/// Flat CSR rendering of a RouteSets table, for consumers that walk
+/// options on a hot path (the simulator's SimIndex). Product nodes are
+/// indexed n = (flow * num_switches + sw) * num_states + state; the
+/// options of node n are opt_link/opt_state[opt_off[n] .. opt_off[n+1]),
+/// in the same ascending-link order as RouteSets::options().
+struct RouteSetsCsr {
+    int num_states = 1;
+    int initial_state = 0;
+    bool adaptive = false;
+    std::vector<int> opt_off;    ///< size F * nsw * num_states + 1
+    std::vector<int> opt_link;   ///< admissible link per option
+    std::vector<int> opt_state;  ///< matching next automaton state
+    std::vector<int> baked;      ///< per product node: baked link or -1
+    std::vector<int> first;      ///< per flow: first core->switch link or -1
+};
+
 class RouteSets {
   public:
     int num_states() const { return num_states_; }
@@ -63,6 +79,12 @@ class RouteSets {
     int first_link(int flow) const {
         return firsts_.at(static_cast<std::size_t>(flow));
     }
+
+    /// Flatten the whole table into contiguous CSR arrays. RouteSets does
+    /// not retain the switch count it was built for, so the caller passes
+    /// it back in (unrouted flows carry empty per-flow tables, which
+    /// could not disambiguate it).
+    RouteSetsCsr export_csr(int num_switches) const;
 
   private:
     friend RouteSets build_route_sets(const Topology& topo,

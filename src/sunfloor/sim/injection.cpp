@@ -1,6 +1,7 @@
 #include "sunfloor/sim/injection.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -53,12 +54,30 @@ std::vector<double> flow_packet_rates(const DesignSpec& spec,
                                       const EvalParams& eval) {
     if (inj.packet_length_flits <= 0)
         throw std::invalid_argument("packet_length_flits must be positive");
-    if (inj.injection_scale < 0.0)
-        throw std::invalid_argument("injection_scale must be >= 0");
-    const int hotspot = inj.traffic == Traffic::Hotspot
-                            ? (inj.hotspot_core >= 0 ? inj.hotspot_core
-                                                     : busiest_sink(spec))
-                            : -1;
+    // Require finiteness explicitly: a NaN scale/factor passes every
+    // ordering check (NaN comparisons are false) and would poison all
+    // rates through std::min(1.0, rate).
+    if (!(std::isfinite(inj.injection_scale) && inj.injection_scale >= 0.0))
+        throw std::invalid_argument(
+            "injection_scale must be a finite value >= 0 (got " +
+            std::to_string(inj.injection_scale) + ")");
+    int hotspot = -1;
+    if (inj.traffic == Traffic::Hotspot) {
+        if (!(std::isfinite(inj.hotspot_factor) &&
+              inj.hotspot_factor >= 0.0))
+            throw std::invalid_argument(
+                "hotspot_factor must be a finite value >= 0 (got " +
+                std::to_string(inj.hotspot_factor) + ")");
+        if (inj.hotspot_core < -1 ||
+            inj.hotspot_core >= spec.cores.num_cores())
+            throw std::invalid_argument(
+                "hotspot_core " + std::to_string(inj.hotspot_core) +
+                " out of range: spec has " +
+                std::to_string(spec.cores.num_cores()) +
+                " cores (use -1 for the busiest sink)");
+        hotspot = inj.hotspot_core >= 0 ? inj.hotspot_core
+                                        : busiest_sink(spec);
+    }
     std::vector<double> rates;
     rates.reserve(static_cast<std::size_t>(spec.comm.num_flows()));
     for (const auto& f : spec.comm.flows()) {
@@ -77,10 +96,16 @@ InjectionState::InjectionState(const DesignSpec& spec,
                                const EvalParams& eval)
     : inj_(inj), rates_(flow_packet_rates(spec, inj, eval)) {
     if (inj_.traffic == Traffic::Bursty) {
-        if (inj_.burst_on_to_off <= 0.0 || inj_.burst_on_to_off > 1.0 ||
-            inj_.burst_off_to_on <= 0.0 || inj_.burst_off_to_on > 1.0)
+        // The negated-range form !(p > 0 && p <= 1) rejects NaN too,
+        // which a pair of ordering checks would silently accept.
+        if (!(inj_.burst_on_to_off > 0.0 && inj_.burst_on_to_off <= 1.0))
             throw std::invalid_argument(
-                "bursty transition probabilities must be in (0, 1]");
+                "burst_on_to_off must be in (0, 1] (got " +
+                std::to_string(inj_.burst_on_to_off) + ")");
+        if (!(inj_.burst_off_to_on > 0.0 && inj_.burst_off_to_on <= 1.0))
+            throw std::invalid_argument(
+                "burst_off_to_on must be in (0, 1] (got " +
+                std::to_string(inj_.burst_off_to_on) + ")");
         const double duty = inj_.burst_off_to_on /
                             (inj_.burst_off_to_on + inj_.burst_on_to_off);
         on_rate_.reserve(rates_.size());
@@ -94,27 +119,19 @@ InjectionState::InjectionState(const DesignSpec& spec,
         }
         // Start every flow OFF: the warmup phase absorbs the transient.
         burst_on_.assign(rates_.size(), 0);
+        on_thr_.reserve(on_rate_.size());
+        for (double r : on_rate_) on_thr_.push_back(bool_threshold(r));
+        on_to_off_thr_ = bool_threshold(inj_.burst_on_to_off);
+        off_to_on_thr_ = bool_threshold(inj_.burst_off_to_on);
     }
+    thr_.reserve(rates_.size());
+    for (double r : rates_) thr_.push_back(bool_threshold(r));
 }
 
 double InjectionState::offered_flits_per_cycle() const {
     double sum = 0.0;
     for (double r : rates_) sum += r * inj_.packet_length_flits;
     return sum;
-}
-
-bool InjectionState::step(int f, Rng& rng) {
-    const auto i = static_cast<std::size_t>(f);
-    if (rates_[i] <= 0.0) return false;
-    if (inj_.traffic != Traffic::Bursty) return rng.next_bool(rates_[i]);
-    // Transition first, then (maybe) generate: a flow entering ON can
-    // already emit this cycle, so short ON periods still carry traffic.
-    if (burst_on_[i]) {
-        if (rng.next_bool(inj_.burst_on_to_off)) burst_on_[i] = 0;
-    } else {
-        if (rng.next_bool(inj_.burst_off_to_on)) burst_on_[i] = 1;
-    }
-    return burst_on_[i] && rng.next_bool(on_rate_[i]);
 }
 
 }  // namespace sunfloor::sim

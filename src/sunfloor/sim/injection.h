@@ -24,6 +24,7 @@
 // so a (topology, params, seed) triple replays bit-identically.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -79,6 +80,14 @@ struct InjectionParams {
 /// spec bandwidths at `eval.freq_hz`, including the traffic shaping
 /// (hotspot boost; bursty keeps the uniform mean). Rates are clamped to
 /// 1.0 — the source can start at most one packet per cycle.
+///
+/// Input validation (std::invalid_argument naming the offending
+/// parameter): injection_scale must be finite and >= 0 (a NaN scale
+/// would sail past a bare sign check — NaN comparisons are false — and
+/// poison every rate through the clamp); under hotspot traffic,
+/// hotspot_factor must be finite and >= 0 and hotspot_core must be -1
+/// or a valid core id of `spec` (an out-of-range id would silently
+/// degrade to uniform traffic because no flow ever sinks there).
 std::vector<double> flow_packet_rates(const DesignSpec& spec,
                                       const InjectionParams& inj,
                                       const EvalParams& eval);
@@ -100,15 +109,84 @@ class InjectionState {
     /// flits/cycle.
     double offered_flits_per_cycle() const;
 
+    /// Integer threshold form of Rng::next_bool(p): the draw u satisfies
+    /// next_double(u) < p exactly when (u >> 11) < bool_threshold(p).
+    /// Proof: next_double = double(u >> 11) * 2^-53 with both steps
+    /// exact (u >> 11 < 2^53, and scaling by a power of two is exact),
+    /// so the comparison over the reals is m * 2^-53 < p, i.e.
+    /// m < p * 2^53 — and p * 2^53 is itself exact for p in [0, 1] —
+    /// which for integer m is m < ceil(p * 2^53). One integer compare
+    /// replaces the convert/multiply/FP-compare on the simulator's
+    /// hottest loop (one Bernoulli trial per flow per cycle).
+    static std::uint64_t bool_threshold(double p) {
+        if (!(p > 0.0)) return 0;
+        if (p >= 1.0) return 1ULL << 53;
+        return static_cast<std::uint64_t>(
+            std::ceil(p * 9007199254740992.0));  // 2^53
+    }
+
+    /// One cycle's worth of step() calls — every flow, in flow order —
+    /// with the generating flow ids written to `hits` (caller provides
+    /// room for num_flows() ints). Returns the hit count. Exactly
+    /// equivalent to calling step(f, rng) for f = 0..num_flows()-1, but
+    /// the draw loop contains no function calls, so the compiler keeps
+    /// the xoshiro state of the local Rng copy in registers across the
+    /// whole cycle instead of round-tripping it through the stack between
+    /// draws (the serial store-to-load chain costs more than the
+    /// generator itself).
+    int draw_cycle(Rng& rng, int* hits) {
+        const int n = num_flows();
+        Rng local = rng;  // state in registers; written back below
+        int nh = 0;
+        if (inj_.traffic != Traffic::Bursty) {
+            const std::uint64_t* thr = thr_.data();
+            for (int f = 0; f < n; ++f) {
+                const std::uint64_t t = thr[f];
+                if (t == 0) continue;  // zero-rate flow: no draw, as ever
+                hits[nh] = f;
+                nh += (local.next_u64() >> 11) < t ? 1 : 0;
+            }
+        } else {
+            for (int f = 0; f < n; ++f)
+                if (step(f, local)) hits[nh++] = f;
+        }
+        rng = local;
+        return nh;
+    }
+
     /// True when flow f generates a packet this cycle. Must be called
-    /// exactly once per flow per cycle, in flow order, for determinism.
-    bool step(int f, Rng& rng);
+    /// exactly once per flow per cycle, in flow order, for determinism:
+    /// the number of draws consumed per cycle is part of the replayable
+    /// RNG stream. (The simulator itself goes through draw_cycle(), which
+    /// batches these per cycle.)
+    bool step(int f, Rng& rng) {
+        const auto i = static_cast<std::size_t>(f);
+        const std::uint64_t thr = thr_[i];
+        if (thr == 0) return false;  // zero-rate flow: no draw, as ever
+        if (inj_.traffic != Traffic::Bursty)
+            return (rng.next_u64() >> 11) < thr;
+        // Transition first, then (maybe) generate: a flow entering ON can
+        // already emit this cycle, so short ON periods still carry
+        // traffic.
+        if (burst_on_[i]) {
+            if ((rng.next_u64() >> 11) < on_to_off_thr_) burst_on_[i] = 0;
+        } else {
+            if ((rng.next_u64() >> 11) < off_to_on_thr_) burst_on_[i] = 1;
+        }
+        return burst_on_[i] && (rng.next_u64() >> 11) < on_thr_[i];
+    }
 
   private:
     InjectionParams inj_;
     std::vector<double> rates_;    ///< mean packet rate per flow
     std::vector<double> on_rate_;  ///< bursty: generation rate while ON
     std::vector<char> burst_on_;   ///< bursty: current Markov state
+
+    // bool_threshold() forms of the rates above (see its comment).
+    std::vector<std::uint64_t> thr_;     ///< of rates_ (uniform/hotspot)
+    std::vector<std::uint64_t> on_thr_;  ///< of on_rate_ (bursty)
+    std::uint64_t on_to_off_thr_ = 0;    ///< of burst_on_to_off
+    std::uint64_t off_to_on_thr_ = 0;    ///< of burst_off_to_on
 };
 
 }  // namespace sunfloor::sim

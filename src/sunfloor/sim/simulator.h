@@ -37,19 +37,33 @@
 // network empty — a runtime cross-check of the static deadlock-freedom
 // analysis of noc/deadlock.h, reported as SimReport::drained.
 //
+// Internally the engine is CSR/SoA, not object-per-flit: all static
+// lookups (paths, ports, route sets) are flattened once into a shared
+// SimIndex (sim/sim_index.h), flit state lives as struct-of-arrays
+// fields in fixed-capacity power-of-two ring buffers per link (sized
+// from buffer_depth_flits and the pipeline depth, so the steady state
+// allocates nothing), and per-cycle work is driven by active-link
+// bitsets so idle links cost nothing. The Simulator class below keeps
+// the index and the engine arenas warm across runs — a rate sweep pays
+// the setup once. The free functions remain the one-shot convenience
+// wrappers.
+//
 // Everything is single-threaded and deterministic: one Rng seeded from
 // SimParams::seed drives all injection processes, so any two runs with
 // equal (topology, spec, eval, params) are bit-identical. Parallel
-// callers (the explore backend) run independent simulator instances.
+// callers (the explore backend) run independent simulator instances
+// over a shared immutable SimIndex.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sunfloor/noc/evaluation.h"
 #include "sunfloor/noc/topology.h"
 #include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/injection.h"
+#include "sunfloor/sim/sim_index.h"
 #include "sunfloor/spec/parser.h"
 #include "sunfloor/util/rng.h"
 
@@ -118,9 +132,52 @@ struct SimReport {
     long long in_flight_flits_at_end = 0;  ///< 0 when drained
 };
 
+/// Reusable simulator over one design: builds (or adopts) the SimIndex
+/// once and keeps the engine's ring arenas allocated between runs, so a
+/// rate sweep or a repeated-measurement loop pays the flattening and
+/// allocation cost a single time. Not thread-safe — one instance per
+/// thread; the underlying SimIndex is immutable and freely shared.
+class Simulator {
+  public:
+    /// Flatten `topo` for simulation under `routing`. For adaptive
+    /// policies this builds and verifies the route sets (throws
+    /// std::logic_error when the policy does not contain the topology's
+    /// baked paths).
+    Simulator(const Topology& topo, const DesignSpec& spec,
+              const EvalParams& eval,
+              routing::RoutingPolicyId routing =
+                  routing::RoutingPolicyId::UpDown);
+
+    /// Adopt a prebuilt (possibly shared) index.
+    explicit Simulator(std::shared_ptr<const SimIndex> index);
+
+    Simulator(Simulator&&) noexcept;
+    Simulator& operator=(Simulator&&) noexcept;
+    ~Simulator();
+
+    const std::shared_ptr<const SimIndex>& index() const;
+
+    /// One full warmup -> measure -> drain run. `spec` and `eval` must be
+    /// the ones the index was built from (they feed the injection rates;
+    /// checked by flow count). params.routing must equal the index's
+    /// policy — throws std::invalid_argument on mismatch, and when not
+    /// every flow is routed.
+    SimReport run(const DesignSpec& spec, const EvalParams& eval,
+                  const SimParams& params);
+
+    /// Zero-load probe over the warm index; see simulate_zero_load for
+    /// semantics. params.routing must equal the index's policy.
+    SimReport run_zero_load(SimParams params);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /// Simulate `topo` under the spec's traffic scaled by params.inject.
 /// Every flow must be routed (Topology::all_flows_routed); throws
-/// std::invalid_argument otherwise.
+/// std::invalid_argument otherwise. One-shot convenience over the
+/// Simulator class: builds a fresh index per call.
 SimReport simulate(const Topology& topo, const DesignSpec& spec,
                    const EvalParams& eval, const SimParams& params);
 
@@ -128,8 +185,13 @@ SimReport simulate(const Topology& topo, const DesignSpec& spec,
 /// (flow k starts only after flow k-1 fully drained), through the same
 /// simulation machinery. With packet_length_flits = 1 the reported
 /// flow_avg_latency_cycles equal the analytic flow_latency() exactly.
-/// Unrouted flows report -1; injection rates/traffic shaping — and
-/// params.routing: the probe prices the *baked* paths — are ignored.
+/// Unrouted flows report -1; injection rates/traffic shaping are
+/// ignored. The probe replays the *baked* paths, which is exact for
+/// params.routing too: at zero load every link has full credit, so
+/// adaptive selection degenerates to its tie-break — the baked path.
+/// Adaptive policies are still validated (their route sets are built,
+/// so a policy mismatched with the topology's routing throws
+/// std::logic_error rather than being silently ignored).
 SimReport simulate_zero_load(const Topology& topo, const DesignSpec& spec,
                              const EvalParams& eval, SimParams params);
 

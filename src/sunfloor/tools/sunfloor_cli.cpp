@@ -880,10 +880,14 @@ int run_simulate(int argc, char** argv) {
 
     Table t({"rate", "offered_fpc", "accepted_fpc", "avg_latency",
              "p99_latency", "max_latency", "packets", "drained"});
+    // One simulator for the whole sweep: the rate only changes SimParams,
+    // so every point replays against the same immutable SimIndex and the
+    // warmed engine's arenas instead of rebuilding both per rate.
+    sim::Simulator simulator(dp.topo, spec, cfg.eval, sp.routing);
     for (double r : rates) {
         sim::SimParams p = sp;
         p.inject.injection_scale = r;
-        const sim::SimReport rep = sim::simulate(dp.topo, spec, cfg.eval, p);
+        const sim::SimReport rep = simulator.run(spec, cfg.eval, p);
         t.add_row({r, rep.offered_flits_per_cycle,
                    rep.accepted_flits_per_cycle, rep.avg_latency_cycles,
                    rep.p99_latency_cycles, rep.max_latency_cycles,

@@ -3,13 +3,6 @@
 #include <cstdio>
 
 namespace sunfloor {
-namespace {
-
-std::uint64_t rotl(std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t x) {
     x += 0x9e3779b97f4a7c15ULL;
@@ -51,18 +44,6 @@ Rng::Rng(std::uint64_t seed) {
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-std::uint64_t Rng::next_u64() {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
 std::uint64_t Rng::next_below(std::uint64_t n) {
     // Lemire-style rejection to avoid modulo bias.
     const std::uint64_t threshold = (0 - n) % n;
@@ -75,14 +56,6 @@ std::uint64_t Rng::next_below(std::uint64_t n) {
 int Rng::next_int(int lo, int hi) {
     return lo + static_cast<int>(
                     next_below(static_cast<std::uint64_t>(hi - lo) + 1));
-}
-
-double Rng::next_double() {
-    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bool(double p) {
-    return next_double() < p;
 }
 
 }  // namespace sunfloor

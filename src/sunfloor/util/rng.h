@@ -48,8 +48,19 @@ class Rng {
     /// Restore a snapshot taken with state().
     void set_state(const RngState& state);
 
-    /// Uniform 64-bit value.
-    std::uint64_t next_u64();
+    /// Uniform 64-bit value. Inline: the flit simulator draws one value
+    /// per flow per cycle, so the xoshiro step must not cost a call.
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /// Uniform integer in [0, n). Precondition: n > 0.
     std::uint64_t next_below(std::uint64_t n);
@@ -58,10 +69,12 @@ class Rng {
     int next_int(int lo, int hi);
 
     /// Uniform double in [0, 1).
-    double next_double();
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
 
     /// Bernoulli trial with probability p.
-    bool next_bool(double p = 0.5);
+    bool next_bool(double p = 0.5) { return next_double() < p; }
 
     /// Fisher-Yates shuffle.
     template <typename T>
@@ -73,6 +86,10 @@ class Rng {
     }
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 
