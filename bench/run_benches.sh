@@ -15,11 +15,17 @@
 #   bench_obs_overhead    -> BENCH_obs.json (ScopedSpan guard cost with
 #     and without a sink, traced-vs-untraced exploration wall time, and
 #     the estimated no-sink instrumentation overhead vs the < 2% bar)
+#   bench_service         -> BENCH_service.json (sunfloord job-engine
+#     throughput: requests/sec and client p50/p99 latency for a fresh
+#     engine per request vs one persistent warm engine, plus the
+#     warm/cold speedup; set SERVICE_WARM_SPEEDUP_FLOOR=<ratio> to fail
+#     the run when the warm-session win falls below the floor)
 # Extra arguments are passed through to every bench binary
 # (e.g. --benchmark_min_time=2x).
 #
 # Usage: bench/run_benches.sh [build_dir] [explore_out.json] [sim_out.json]
-#                             [obs_out.json] [bench args...]
+#                             [obs_out.json] [service_out.json]
+#                             [bench args...]
 # (the old two-positional form `run_benches.sh build out.json --flag`
 # still works: a leading-dash third argument is a bench flag, not a path)
 #
@@ -33,6 +39,7 @@ BUILD_DIR=${1:-build}
 OUT_EXPLORE=${2:-BENCH_explore.json}
 OUT_SIM=BENCH_sim.json
 OUT_OBS=BENCH_obs.json
+OUT_SERVICE=BENCH_service.json
 shift $(( $# >= 2 ? 2 : $# ))
 if [[ $# -ge 1 && ${1} != -* ]]; then
     OUT_SIM=$1
@@ -40,6 +47,10 @@ if [[ $# -ge 1 && ${1} != -* ]]; then
 fi
 if [[ $# -ge 1 && ${1} != -* ]]; then
     OUT_OBS=$1
+    shift
+fi
+if [[ $# -ge 1 && ${1} != -* ]]; then
+    OUT_SERVICE=$1
     shift
 fi
 
@@ -332,4 +343,76 @@ with open(tmp, "w") as f:
     f.write("\n")
 os.replace(tmp, sys.argv[2])
 print(json.dumps(out, indent=2))
+EOF
+
+# ----------------------------------------------------- service throughput
+run_bench bench_service --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
+
+python3 - "$RAW" "$OUT_SERVICE" <<'EOF'
+import json, os, sys
+
+raw = json.load(open(sys.argv[1]))
+rows = {}
+for b in raw.get("benchmarks", []):
+    # Names look like BM_service_cold/real_time (plus /repeats:N when
+    # --benchmark_repetitions is passed through); skip the aggregate
+    # rows and average per-repetition measurements, as the other
+    # parsers do.
+    if "aggregate_name" in b:
+        continue
+    if b.get("error_occurred"):
+        print(f"skipping {b['name']}: {b.get('error_message', 'error')}",
+              file=sys.stderr)
+        continue
+    rows.setdefault(b["name"].split("/")[0], []).append(b)
+
+modes = {}
+for name, key in (("cold", "BM_service_cold"), ("warm", "BM_service_warm")):
+    bs = rows.get(key, [])
+    if not bs:
+        continue
+    n = len(bs)
+    avg = lambda field: sum(b.get(field, 0.0) for b in bs) / n
+    modes[name] = {
+        "requests_per_sec": round(avg("requests_per_sec"), 3),
+        "p50_ms": round(avg("p50_ms"), 3),
+        "p99_ms": round(avg("p99_ms"), 3),
+        "requests_per_iteration": int(avg("requests")),
+        "repetitions": n,
+    }
+
+speedup = None
+if "cold" in modes and "warm" in modes and \
+        modes["cold"]["requests_per_sec"] > 0:
+    speedup = round(modes["warm"]["requests_per_sec"] /
+                    modes["cold"]["requests_per_sec"], 3)
+
+out = {
+    "bench": "bench_service",
+    "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
+    "modes": modes,
+    "warm_speedup_vs_cold": speedup,
+}
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+os.replace(tmp, sys.argv[2])
+print(json.dumps(out, indent=2))
+
+# Warm-cache sanity floor: results are byte-identical warm or cold
+# (tests/service_test.cpp), so the speedup is the whole point of the
+# daemon. The floor should sit far below the typical ratio (see ci.yml)
+# so only a broken session cache trips it, not machine variance.
+floor = float(os.environ.get("SERVICE_WARM_SPEEDUP_FLOOR", "0") or "0")
+if floor > 0:
+    if speedup is None:
+        print("error: SERVICE_WARM_SPEEDUP_FLOOR set but the speedup "
+              "could not be computed", file=sys.stderr)
+        sys.exit(1)
+    if speedup < floor:
+        print(f"error: warm/cold speedup {speedup} is below "
+              f"SERVICE_WARM_SPEEDUP_FLOOR={floor}", file=sys.stderr)
+        sys.exit(1)
 EOF

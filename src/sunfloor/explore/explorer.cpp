@@ -165,8 +165,13 @@ std::vector<ParetoEntry> global_pareto_measured(
 
 Explorer::Explorer(DesignSpec spec, SynthesisConfig base_cfg,
                    ExploreOptions opts)
-    : spec_(std::move(spec)), base_cfg_(std::move(base_cfg)),
-      opts_(opts), session_(spec_) {}
+    : spec_(std::move(spec)), base_cfg_(std::move(base_cfg)), opts_(opts),
+      session_(std::make_shared<pipeline::SynthesisSession>(spec_)) {}
+
+Explorer::Explorer(std::shared_ptr<pipeline::SynthesisSession> session,
+                   SynthesisConfig base_cfg, ExploreOptions opts)
+    : spec_(session->spec()), base_cfg_(std::move(base_cfg)), opts_(opts),
+      session_(std::move(session)) {}
 
 std::size_t Explorer::cache_size() const {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -190,7 +195,7 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     std::unordered_map<std::string, std::size_t> first_of_key;
     std::vector<std::string> keys(points.size());
     std::vector<char> intra_run_dup(points.size(), 0);
-    const pipeline::SessionStats stage_before = session_.stats();
+    const pipeline::SessionStats stage_before = session_->stats();
     for (std::size_t i = 0; i < points.size(); ++i) {
         keys[i] = points[i].key();
         out.points[i].seed = explore_point_seed(opts_.base_seed, keys[i]);
@@ -234,7 +239,7 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
         // artifact caches are keyed on everything a stage consumes), so
         // the reuse toggle only changes how much work is recomputed.
         out.points[i].result = opts_.reuse_stages
-                                   ? session_.run(cfg, p.phase)
+                                   ? session_->run(cfg, p.phase)
                                    : run_synthesis(spec_, cfg, p.phase);
     };
 
@@ -376,7 +381,7 @@ ExploreResult Explorer::run(const ParamGrid& grid) const {
     st.num_threads = threads;
     st.backend = opts_.backend;
     st.simulated_designs = simulated_designs;
-    st.stage = session_.stats() - stage_before;
+    st.stage = session_->stats() - stage_before;
 
     auto& reg = obs::Registry::global();
     reg.counter("explore.points.total").add(st.total_points);

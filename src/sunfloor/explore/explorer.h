@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -161,6 +162,14 @@ class Explorer {
     Explorer(DesignSpec spec, SynthesisConfig base_cfg,
              ExploreOptions opts = {});
 
+    /// Explore against an externally owned session (the service daemon's
+    /// warm per-spec sessions). The session's spec is the explored spec;
+    /// stage artifacts cached by earlier runs — other explorers, direct
+    /// synthesis jobs — are reused, which is bit-transparent (see
+    /// pipeline/session.h).
+    Explorer(std::shared_ptr<pipeline::SynthesisSession> session,
+             SynthesisConfig base_cfg, ExploreOptions opts = {});
+
     const DesignSpec& spec() const { return spec_; }
     const SynthesisConfig& base_config() const { return base_cfg_; }
     const ExploreOptions& options() const { return opts_; }
@@ -174,7 +183,7 @@ class Explorer {
 
     /// The shared staged-pipeline session (cumulative stats, artifact
     /// counts) driving every synthesis when reuse_stages is on.
-    const pipeline::SynthesisSession& session() const { return session_; }
+    const pipeline::SynthesisSession& session() const { return *session_; }
 
   private:
     DesignSpec spec_;
@@ -183,7 +192,7 @@ class Explorer {
 
     mutable std::mutex cache_mu_;
     mutable std::unordered_map<std::string, SynthesisResult> cache_;
-    mutable pipeline::SynthesisSession session_;
+    std::shared_ptr<pipeline::SynthesisSession> session_;
 };
 
 /// Global Pareto front over all valid designs of all points, with the

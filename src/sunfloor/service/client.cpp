@@ -1,0 +1,54 @@
+#include "sunfloor/service/client.h"
+
+#include "sunfloor/service/transport.h"
+
+namespace sunfloor::service {
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& address, std::string& error) {
+    close();
+    Address addr;
+    if (!parse_address(address, addr, error)) return false;
+    fd_ = dial(addr, error);
+    return fd_ >= 0;
+}
+
+bool Client::call(const std::string& frame, JsonValue& response,
+                  std::string& error) {
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!write_all(fd_, frame + "\n")) {
+        error = "connection lost while sending";
+        close();
+        return false;
+    }
+    std::string line;
+    for (;;) {
+        // No response size cap: result payloads carry whole CSV tables.
+        const int r = read_line(fd_, buf_, line, 0, error);
+        if (r == 1) break;
+        if (r == -2) continue;  // server-side keepalive timeout pacing
+        if (r == 0) error = "server closed the connection";
+        close();
+        return false;
+    }
+    const JsonParseResult parsed = parse_json(line);
+    if (!parsed.ok) {
+        error = "malformed response: " + parsed.error;
+        close();
+        return false;
+    }
+    response = parsed.value;
+    return true;
+}
+
+void Client::close() {
+    if (fd_ >= 0) close_fd(fd_);
+    fd_ = -1;
+    buf_.clear();
+}
+
+}  // namespace sunfloor::service

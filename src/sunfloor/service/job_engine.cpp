@@ -1,0 +1,452 @@
+#include "sunfloor/service/job_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "sunfloor/explore/explorer.h"
+#include "sunfloor/explore/export.h"
+#include "sunfloor/io/report.h"
+#include "sunfloor/obs/trace.h"
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor::service {
+
+const char* state_to_string(JobState s) {
+    switch (s) {
+        case JobState::Queued: return "queued";
+        case JobState::Running: return "running";
+        case JobState::Done: return "done";
+        case JobState::Failed: return "failed";
+    }
+    return "queued";
+}
+
+const char* reject_to_string(RejectReason r) {
+    switch (r) {
+        case RejectReason::None: return "none";
+        case RejectReason::QueueFull: return "queue-full";
+        case RejectReason::QuotaExceeded: return "quota-exceeded";
+        case RejectReason::ShuttingDown: return "shutting-down";
+    }
+    return "none";
+}
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::string JobEngine::batch_key(const JobRequest& req) {
+    // Exactly the inputs the partition/assignment stages consume (see
+    // pipeline/session.h): the spec, alpha, the synthesis seed and the
+    // phase/theta axes. Frequency, TSV budget, link width and routing
+    // first matter at the routing stage, so jobs differing only there
+    // land in one bucket and share partition artifacts.
+    std::uint64_t h = 1469598103934665603ULL;
+    h = fnv1a(h, req.spec_text);
+    h = fnv1a(h, double_bits(req.params.alpha));
+    h = fnv1a(h, format("s%lld", req.params.seed));
+    for (const SynthesisPhase p : req.params.phases)
+        h = fnv1a(h, format("p%s", phase_to_string(p)));
+    for (const double t : req.params.thetas) {
+        h = fnv1a(h, "t");
+        h = fnv1a(h, double_bits(t));
+    }
+    return format("%016llx", static_cast<unsigned long long>(h));
+}
+
+JobEngine::JobEngine(EngineOptions opts) : opts_(opts) {
+    if (opts_.workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        opts_.workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    opts_.queue_capacity = std::max(1, opts_.queue_capacity);
+    opts_.per_client_quota = std::max(1, opts_.per_client_quota);
+    opts_.max_sessions = std::max(1, opts_.max_sessions);
+    if (opts_.explore_threads < 1) opts_.explore_threads = 1;
+
+    auto& reg = obs::Registry::global();
+    m_submitted_ = &reg.counter("service.submitted.total");
+    m_completed_ = &reg.counter("service.completed.total");
+    m_failed_ = &reg.counter("service.failed.total");
+    m_rej_queue_full_ = &reg.counter("service.rejected.queue_full");
+    m_rej_quota_ = &reg.counter("service.rejected.quota");
+    m_rej_shutdown_ = &reg.counter("service.rejected.shutdown");
+    m_queue_depth_ = &reg.histogram(
+        "service.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    m_wait_ms_ = &reg.histogram(
+        "service.job.wait_ms",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+    m_run_ms_ = &reg.histogram(
+        "service.job.run_ms",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+
+    workers_.reserve(static_cast<std::size_t>(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+JobEngine::~JobEngine() {
+    begin_drain();
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+Submission JobEngine::submit(JobRequest req) {
+    Submission out;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) {
+        out.reason = RejectReason::ShuttingDown;
+        out.error = "server is shutting down";
+        ++n_rejected_;
+        m_rej_shutdown_->add();
+        return out;
+    }
+    if (queued_ >= opts_.queue_capacity) {
+        out.reason = RejectReason::QueueFull;
+        out.error = format("queue is full (%d jobs queued)", queued_);
+        ++n_rejected_;
+        m_rej_queue_full_->add();
+        return out;
+    }
+    const int active = active_per_client_[req.client];
+    if (active >= opts_.per_client_quota) {
+        out.reason = RejectReason::QuotaExceeded;
+        out.error = format("client \"%s\" already has %d active job(s)",
+                           req.client.c_str(), active);
+        ++n_rejected_;
+        m_rej_quota_->add();
+        return out;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->id = next_id_++;
+    job->seq = next_seq_++;
+    job->batch = batch_key(req);
+    job->req = std::move(req);
+    job->submitted_at = std::chrono::steady_clock::now();
+    ++active_per_client_[job->req.client];
+    jobs_.emplace(job->id, job);
+    queue_[job->batch].push_back(job);
+    ++queued_;
+    ++n_submitted_;
+    m_submitted_->add();
+    m_queue_depth_->observe(queued_);
+    out.accepted = true;
+    out.id = job->id;
+    work_cv_.notify_one();
+    return out;
+}
+
+bool JobEngine::status(std::uint64_t id, JobStatus& out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const Job& j = *it->second;
+    out.id = j.id;
+    out.kind = j.req.kind;
+    out.client = j.req.client;
+    out.state = j.state;
+    out.wait_ms = j.wait_ms;
+    out.run_ms = j.run_ms;
+    return true;
+}
+
+bool JobEngine::wait(std::uint64_t id, JobStatus& out,
+                     long long timeout_ms) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const std::shared_ptr<Job> job = it->second;
+    const auto terminal = [&] {
+        return job->state == JobState::Done ||
+               job->state == JobState::Failed;
+    };
+    if (timeout_ms < 0) {
+        done_cv_.wait(lk, terminal);
+    } else {
+        done_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                          terminal);
+    }
+    out.id = job->id;
+    out.kind = job->req.kind;
+    out.client = job->req.client;
+    out.state = job->state;
+    out.wait_ms = job->wait_ms;
+    out.run_ms = job->run_ms;
+    return true;
+}
+
+bool JobEngine::result(std::uint64_t id, JobResult& out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const Job& j = *it->second;
+    if (j.state != JobState::Done && j.state != JobState::Failed)
+        return false;
+    out = j.result;
+    return true;
+}
+
+int JobEngine::queue_depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queued_;
+}
+
+EngineStats JobEngine::stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    EngineStats st;
+    st.submitted = n_submitted_;
+    st.completed = n_completed_;
+    st.failed = n_failed_;
+    st.rejected = n_rejected_;
+    st.queued = queued_;
+    st.running = running_;
+    st.workers = opts_.workers;
+    st.sessions = static_cast<int>(sessions_.size());
+    return st;
+}
+
+void JobEngine::begin_drain() {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+}
+
+void JobEngine::drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+std::shared_ptr<JobEngine::Job> JobEngine::pop_job(
+    const std::string& last_batch) {
+    auto it = queue_.find(last_batch);
+    if (it == queue_.end() || it->second.empty()) {
+        // Oldest job overall; each bucket is FIFO so its front is its
+        // oldest, and the bucket count is small (it is bounded by the
+        // number of distinct in-flight workloads).
+        it = queue_.end();
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (auto b = queue_.begin(); b != queue_.end(); ++b) {
+            if (b->second.empty()) continue;
+            if (b->second.front()->seq < best) {
+                best = b->second.front()->seq;
+                it = b;
+            }
+        }
+        if (it == queue_.end()) return nullptr;
+    }
+    std::shared_ptr<Job> job = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) queue_.erase(it);
+    return job;
+}
+
+std::shared_ptr<pipeline::SynthesisSession> JobEngine::acquire_session(
+    const JobRequest& req) {
+    auto it = sessions_.find(req.spec_text);
+    if (it == sessions_.end()) {
+        if (static_cast<int>(sessions_.size()) >= opts_.max_sessions) {
+            // Evict the least recently used entry. A worker still running
+            // against it keeps it alive through its shared_ptr; only the
+            // warmth for *future* jobs is lost.
+            auto victim = sessions_.begin();
+            for (auto s = sessions_.begin(); s != sessions_.end(); ++s)
+                if (s->second.last_use < victim->second.last_use) victim = s;
+            sessions_.erase(victim);
+        }
+        SessionEntry entry;
+        entry.session =
+            std::make_shared<pipeline::SynthesisSession>(req.spec);
+        it = sessions_.emplace(req.spec_text, std::move(entry)).first;
+    }
+    it->second.last_use = ++session_clock_;
+    return it->second.session;
+}
+
+void JobEngine::worker_loop() {
+    std::string last_batch;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        std::shared_ptr<pipeline::SynthesisSession> session;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            work_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+            if (queued_ == 0) {
+                if (stop_) return;
+                continue;
+            }
+            job = pop_job(last_batch);
+            if (!job) continue;
+            --queued_;
+            ++running_;
+            job->state = JobState::Running;
+            job->wait_ms = ms_since(job->submitted_at);
+            m_wait_ms_->observe(job->wait_ms);
+            last_batch = job->batch;
+            session = acquire_session(job->req);
+        }
+
+        const auto started = std::chrono::steady_clock::now();
+        JobResult result;
+        {
+            obs::ScopedSpan span("service.job", "id",
+                                 static_cast<long long>(job->id));
+            result = execute(job->req, session);
+        }
+        const double run_ms = ms_since(started);
+        m_run_ms_->observe(run_ms);
+        if (result.failed) {
+            m_failed_->add();
+        } else {
+            m_completed_->add();
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job->run_ms = run_ms;
+            job->result = std::move(result);
+            job->state = job->result.failed ? JobState::Failed
+                                            : JobState::Done;
+            if (job->result.failed) {
+                ++n_failed_;
+            } else {
+                ++n_completed_;
+            }
+            --running_;
+            auto client = active_per_client_.find(job->req.client);
+            if (client != active_per_client_.end() &&
+                --client->second <= 0)
+                active_per_client_.erase(client);
+        }
+        done_cv_.notify_all();
+    }
+}
+
+namespace {
+
+JobResult execute_synth(const JobRequest& req,
+                        pipeline::SynthesisSession& session) {
+    const JobParams& p = req.params;
+    SynthesisConfig cfg;
+    cfg.eval.freq_hz =
+        (p.freq_mhz.empty() ? 400.0 : p.freq_mhz.front()) * 1e6;
+    if (!p.max_tsvs.empty()) cfg.max_ill = p.max_tsvs.front();
+    if (!p.routings.empty()) cfg.routing = p.routings.front();
+    cfg.alpha = p.alpha;
+    cfg.seed = static_cast<std::uint64_t>(p.seed);
+    cfg.run_floorplan = p.floorplan;
+    const SynthesisPhase phase =
+        p.phases.empty() ? SynthesisPhase::Auto : p.phases.front();
+
+    const SynthesisResult res = session.run(cfg, phase);
+
+    JobResult out;
+    // The same bytes the one-shot CLI writes as <prefix>_points.csv
+    // (timing-free, unlike write_synthesis_report).
+    std::ostringstream os;
+    design_points_table(res.points).write_csv(os);
+    out.csv = os.str();
+    out.phase_used = res.phase_used;
+    out.num_points = static_cast<int>(res.points.size());
+    out.num_valid = res.num_valid();
+    out.pareto_size = static_cast<int>(res.pareto_indices().size());
+    const int best = res.best_power_index();
+    if (best >= 0) {
+        const DesignPoint& dp =
+            res.points[static_cast<std::size_t>(best)];
+        out.best_power_mw = dp.report.power.total_mw();
+        out.best_latency_cycles = dp.report.avg_latency_cycles;
+    }
+    return out;
+}
+
+JobResult execute_explore(
+    const JobRequest& req,
+    const std::shared_ptr<pipeline::SynthesisSession>& session,
+    int explore_threads) {
+    const JobParams& p = req.params;
+    SynthesisConfig cfg;
+    cfg.alpha = p.alpha;
+    cfg.run_floorplan = p.floorplan;
+
+    ParamGrid grid;
+    if (!p.freq_mhz.empty()) {
+        std::vector<double> hz;
+        hz.reserve(p.freq_mhz.size());
+        for (const double mhz : p.freq_mhz) hz.push_back(mhz * 1e6);
+        grid.set_axis(ParamAxis::frequencies_hz(hz));
+    }
+    if (!p.max_tsvs.empty())
+        grid.set_axis(ParamAxis::max_tsvs(p.max_tsvs));
+    if (!p.width_bits.empty())
+        grid.set_axis(ParamAxis::link_widths_bits(p.width_bits));
+    if (!p.phases.empty()) grid.set_axis(ParamAxis::phases(p.phases));
+    if (!p.thetas.empty()) grid.set_axis(ParamAxis::thetas(p.thetas));
+    if (!p.routings.empty())
+        grid.set_axis(ParamAxis::routing_policies(p.routings));
+
+    ExploreOptions opts;
+    opts.num_threads = explore_threads;
+    opts.base_seed = static_cast<std::uint64_t>(p.seed);
+
+    // A fresh Explorer per job on the *shared* session: stage artifacts
+    // stay warm across jobs, while the per-point cache starts cold so the
+    // exported cache_hit column matches a one-shot run byte for byte.
+    const Explorer explorer(session, cfg, opts);
+    const ExploreResult res = explorer.run(grid);
+
+    JobResult out;
+    std::ostringstream os;
+    explore_table(res).write_csv(os);
+    out.csv = os.str();
+    out.num_points = res.stats.total_designs;
+    out.num_valid = res.stats.valid_designs;
+    out.pareto_size = res.stats.pareto_size;
+    const ParetoEntry bp = res.best_power();
+    if (bp.point_index >= 0) {
+        const DesignPoint& dp = res.design(bp);
+        out.best_power_mw = dp.report.power.total_mw();
+        out.best_latency_cycles = dp.report.avg_latency_cycles;
+    }
+    return out;
+}
+
+}  // namespace
+
+JobResult JobEngine::execute(
+    const JobRequest& req,
+    const std::shared_ptr<pipeline::SynthesisSession>& session) const {
+    try {
+        if (req.kind == JobKind::Explore)
+            return execute_explore(req, session, opts_.explore_threads);
+        return execute_synth(req, *session);
+    } catch (const std::exception& e) {
+        JobResult out;
+        out.failed = true;
+        out.error = e.what();
+        return out;
+    }
+}
+
+}  // namespace sunfloor::service

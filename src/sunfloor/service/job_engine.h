@@ -1,0 +1,231 @@
+// Asynchronous synthesis job engine: the daemon's core.
+//
+// Jobs (one synthesis run or one grid exploration each) are submitted as
+// validated JobRequests and executed on a pool of worker threads against
+// *shared, warm* pipeline::SynthesisSessions — one session per distinct
+// spec text, LRU-bounded. Because session reuse is bit-transparent (see
+// pipeline/session.h) and each job's RNG seeding depends only on the
+// request, a job's result is byte-identical no matter how many workers
+// run, in which order jobs were submitted, or how warm the caches are —
+// the property tests/service_test.cpp pins against the one-shot
+// run_synthesis()/Explorer paths.
+//
+// Batching: queued jobs are bucketed by batch_key() — a hash of the spec
+// text plus the partition-relevant config fields (alpha, seed, phase,
+// theta). A worker that just finished a job prefers its bucket's next
+// job, so runs that share partition/assignment artifacts execute
+// back-to-back on a warm session instead of interleaving with unrelated
+// specs; across buckets the globally oldest job goes first (no
+// starvation).
+//
+// Admission control: submissions are rejected (typed, never silently
+// dropped) when the engine is draining, the queue is at capacity, or the
+// client already has `per_client_quota` jobs queued or running.
+//
+// Shutdown: begin_drain() rejects new submissions; drain() blocks until
+// every accepted job reached a terminal state. The destructor drains.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/pipeline/session.h"
+#include "sunfloor/service/protocol.h"
+
+namespace sunfloor::service {
+
+enum class JobState { Queued, Running, Done, Failed };
+
+/// "queued" / "running" / "done" / "failed" — the wire status strings.
+const char* state_to_string(JobState s);
+
+enum class RejectReason { None, QueueFull, QuotaExceeded, ShuttingDown };
+
+/// "queue-full" / "quota-exceeded" / "shutting-down" — the wire
+/// "rejected" field.
+const char* reject_to_string(RejectReason r);
+
+/// Outcome of a finished job. `csv` is byte-identical to what the
+/// one-shot CLI writes for the same request: design_points_table() CSV
+/// (synth, the `--out` *_points.csv) or explore_table() CSV (explore,
+/// the *_explore.csv).
+struct JobResult {
+    bool failed = false;
+    std::string error;   ///< failed jobs: what went wrong
+    std::string csv;
+    std::string phase_used;  ///< synth jobs: "phase1"/"phase2"
+    int num_points = 0;      ///< design points produced
+    int num_valid = 0;
+    int pareto_size = 0;
+    double best_power_mw = -1.0;        ///< -1 when nothing was valid
+    double best_latency_cycles = -1.0;  ///< of the best-power design
+};
+
+/// Point-in-time view of one job.
+struct JobStatus {
+    std::uint64_t id = 0;
+    JobKind kind = JobKind::Synth;
+    std::string client;
+    JobState state = JobState::Queued;
+    double wait_ms = 0.0;  ///< queue time (0 while queued)
+    double run_ms = 0.0;   ///< execution time (0 until terminal)
+};
+
+/// Outcome of submit(): an id, or a typed rejection.
+struct Submission {
+    bool accepted = false;
+    std::uint64_t id = 0;
+    RejectReason reason = RejectReason::None;
+    std::string error;
+};
+
+struct EngineOptions {
+    /// Worker threads; 0 picks the hardware concurrency.
+    int workers = 0;
+    /// Maximum queued (not yet running) jobs before QueueFull.
+    int queue_capacity = 256;
+    /// Maximum queued+running jobs per client before QuotaExceeded.
+    int per_client_quota = 64;
+    /// Warm sessions kept alive (one per distinct spec text), LRU.
+    int max_sessions = 8;
+    /// Threads *inside* one explore job (results are thread-count
+    /// invariant; this only trades intra-job vs cross-job parallelism).
+    int explore_threads = 1;
+};
+
+/// Snapshot for the "stats" op.
+struct EngineStats {
+    long long submitted = 0;
+    long long completed = 0;
+    long long failed = 0;
+    long long rejected = 0;
+    int queued = 0;
+    int running = 0;
+    int workers = 0;
+    int sessions = 0;  ///< warm sessions currently held
+};
+
+class JobEngine {
+  public:
+    explicit JobEngine(EngineOptions opts = {});
+    ~JobEngine();  ///< drains accepted jobs, then joins the workers
+
+    JobEngine(const JobEngine&) = delete;
+    JobEngine& operator=(const JobEngine&) = delete;
+
+    const EngineOptions& options() const { return opts_; }
+
+    /// Admit or reject a job. Accepted jobs eventually reach Done or
+    /// Failed (never lost); rejected jobs carry a typed reason.
+    Submission submit(JobRequest req);
+
+    /// False when `id` was never issued.
+    bool status(std::uint64_t id, JobStatus& out) const;
+
+    /// Block until `id` is terminal (or `timeout_ms` elapsed; < 0 waits
+    /// forever). False when `id` was never issued; on true, `out` holds
+    /// the state at return — check it for Done/Failed after a timeout.
+    bool wait(std::uint64_t id, JobStatus& out,
+              long long timeout_ms = -1) const;
+
+    /// Fetch a terminal job's result. False when `id` is unknown or the
+    /// job is still queued/running.
+    bool result(std::uint64_t id, JobResult& out) const;
+
+    int queue_depth() const;
+    EngineStats stats() const;
+
+    /// Reject all future submissions (idempotent).
+    void begin_drain();
+
+    /// Block until every accepted job is terminal. Call begin_drain()
+    /// first or this may never return under a steady submit stream.
+    void drain();
+
+    /// Artifact-affinity bucket of a request: spec text plus the config
+    /// fields the partition/assignment stages consume (alpha, seed,
+    /// phase, theta). Jobs sharing a key reuse each other's most
+    /// expensive artifacts on a warm session.
+    static std::string batch_key(const JobRequest& req);
+
+  private:
+    struct Job {
+        std::uint64_t id = 0;
+        std::uint64_t seq = 0;  ///< global FIFO order for anti-starvation
+        JobRequest req;
+        std::string batch;
+        JobState state = JobState::Queued;
+        JobResult result;
+        std::chrono::steady_clock::time_point submitted_at;
+        double wait_ms = 0.0;
+        double run_ms = 0.0;
+    };
+
+    void worker_loop();
+    /// Pop the next job: `last_batch`'s bucket when non-empty, else the
+    /// bucket holding the globally oldest job. Caller holds mu_.
+    std::shared_ptr<Job> pop_job(const std::string& last_batch);
+    /// Find-or-create the warm session for a request's spec, bumping its
+    /// LRU stamp and evicting beyond max_sessions. Caller holds mu_.
+    std::shared_ptr<pipeline::SynthesisSession> acquire_session(
+        const JobRequest& req);
+    /// Execute one job (no lock held). The result is published into the
+    /// Job under mu_ by the worker, together with the terminal state —
+    /// readers only ever see it after that fence.
+    JobResult execute(
+        const JobRequest& req,
+        const std::shared_ptr<pipeline::SynthesisSession>& session) const;
+
+    EngineOptions opts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;          ///< workers: work or stop
+    mutable std::condition_variable done_cv_;  ///< waiters: job terminal
+    bool draining_ = false;
+    bool stop_ = false;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t next_seq_ = 0;
+    int queued_ = 0;
+    int running_ = 0;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::map<std::string, std::deque<std::shared_ptr<Job>>> queue_;
+    std::unordered_map<std::string, int> active_per_client_;
+
+    struct SessionEntry {
+        std::shared_ptr<pipeline::SynthesisSession> session;
+        std::uint64_t last_use = 0;
+    };
+    std::unordered_map<std::string, SessionEntry> sessions_;
+    std::uint64_t session_clock_ = 0;
+
+    // Engine-local totals for stats(); the registry counters below are
+    // process-wide and would mix engines in one process (tests, benches).
+    long long n_submitted_ = 0;
+    long long n_completed_ = 0;
+    long long n_failed_ = 0;
+    long long n_rejected_ = 0;
+
+    obs::Counter* m_submitted_;
+    obs::Counter* m_completed_;
+    obs::Counter* m_failed_;
+    obs::Counter* m_rej_queue_full_;
+    obs::Counter* m_rej_quota_;
+    obs::Counter* m_rej_shutdown_;
+    obs::Histogram* m_queue_depth_;
+    obs::Histogram* m_wait_ms_;
+    obs::Histogram* m_run_ms_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace sunfloor::service

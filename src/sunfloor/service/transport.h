@@ -1,0 +1,50 @@
+// Socket plumbing shared by the server and client: address parsing,
+// listening, dialing, and length-bounded line framing.
+//
+// Addresses: a string containing '/' (or starting with '.') names a
+// Unix-domain socket path; anything else is "host:port" TCP. The wire
+// unit is one '\n'-terminated line in both directions (see protocol.h).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sunfloor::service {
+
+struct Address {
+    bool is_unix = false;
+    std::string path;  ///< unix: socket path
+    std::string host;  ///< tcp: host (numeric or name)
+    int port = 0;      ///< tcp: port
+};
+
+/// Parse a listen/connect address. False (with a named error) on a
+/// malformed "host:port" or an empty string.
+bool parse_address(const std::string& s, Address& out, std::string& error);
+
+/// Create, bind and listen. Returns the listening fd, or -1 with a named
+/// error. Unix paths are unlinked first (a daemon restart replaces a
+/// stale socket file).
+int listen_on(const Address& addr, std::string& error);
+
+/// Connect to a listening server. Returns the connected fd, or -1 with a
+/// named error.
+int dial(const Address& addr, std::string& error);
+
+/// Read one '\n'-terminated line (the terminator is consumed, not
+/// returned). Returns 1 on a line, 0 on clean EOF before any byte, -2
+/// when a receive timeout (SO_RCVTIMEO) expired with no complete line —
+/// the caller decides whether to keep waiting — and -1 on error,
+/// including a line longer than `max_bytes` ("frame exceeds N bytes").
+/// `buf` carries read-ahead between calls on the same fd.
+int read_line(int fd, std::string& buf, std::string& line,
+              std::size_t max_bytes, std::string& error);
+
+/// Write all of `data` (callers append the '\n' themselves). False on
+/// error.
+bool write_all(int fd, std::string_view data);
+
+/// close(2) wrapper, EINTR-safe.
+void close_fd(int fd);
+
+}  // namespace sunfloor::service

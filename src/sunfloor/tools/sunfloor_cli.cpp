@@ -7,6 +7,10 @@
 //                         --family <f>) [options]
 //   sunfloor_cli simulate (--design <file> | --benchmark <name>) [options]
 //   sunfloor_cli generate --family <f> [options]   # emit a generated spec
+//   sunfloor_cli submit --connect <addr> (--design <file> |
+//                       --benchmark <name>) [options]   # job to sunfloord
+//   sunfloor_cli status --connect <addr> --id <n>
+//   sunfloor_cli result --connect <addr> --id <n> [--wait]
 //
 // Synthesis options:
 //   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
@@ -72,6 +76,19 @@
 //   --measure <cycles>        measurement window         (default 10000)
 //   --out <prefix>            write <prefix>_sim.csv
 //
+// Service options (submit/status/result talk to a running sunfloord):
+//   --connect <addr>          unix socket path or host:port (required)
+//   --client <name>           client name for quota accounting
+//   --explore                 submit an explore job (axes may be lists)
+//   --freq, --max-tsvs, --width, --phase, --theta, --routing, --alpha,
+//   --seed, --no-floorplan    job config; synth jobs take single values,
+//                             explore jobs accept comma lists per axis
+//   --wait                    block until done; result CSV on stdout
+//                             (byte-identical to the one-shot CLI's
+//                             _points.csv / _explore.csv for the same
+//                             request)
+//   --id <n>                  job id (status/result)
+//
 // Observability (synth, explore and simulate):
 //   --trace <file>            span trace of the run, Chrome/Perfetto
 //                             trace-event JSON (open in ui.perfetto.dev)
@@ -96,8 +113,12 @@
 #include "sunfloor/obs/trace.h"
 #include "sunfloor/routing/policy.h"
 #include "sunfloor/sim/simulator.h"
+#include "sunfloor/service/client.h"
+#include "sunfloor/service/protocol.h"
 #include "sunfloor/spec/benchmarks.h"
 #include "sunfloor/specgen/specgen.h"
+#include "sunfloor/tools/obs_sinks.h"
+#include "sunfloor/util/json.h"
 #include "sunfloor/util/strings.h"
 
 using namespace sunfloor;
@@ -132,8 +153,16 @@ int usage(const char* argv0) {
                  "       %s generate --family pipeline|hub|layered-dag "
                  "[--cores N] [--layers N] [--peak-bw MBPS] [--skew S] "
                  "[--lat-slack S] [--resp F] [--hubs K] [--hotspot F] "
-                 "[--stages N] [--fanout N] [--seed N] [--out file]\n",
-                 argv0, argv0, argv0, argv0);
+                 "[--stages N] [--fanout N] [--seed N] [--out file]\n"
+                 "       %s submit --connect <addr> (--design <file> | "
+                 "--benchmark <name>) [--client NAME] [--explore] "
+                 "[--freq MHz[,...]] [--max-tsvs N[,...]] [--width B[,...]] "
+                 "[--phase auto|1|2[,...]] [--theta V[,...]] "
+                 "[--routing P[,...]] [--alpha A] [--seed N] "
+                 "[--no-floorplan] [--wait]\n"
+                 "       %s status --connect <addr> --id <n>\n"
+                 "       %s result --connect <addr> --id <n> [--wait]\n",
+                 argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -173,99 +202,7 @@ int bad_enum_value(const char* flag, const char* value,
     return 2;
 }
 
-/// `--trace <file>` / `--metrics <file|->` handling shared by the synth,
-/// explore and simulate subcommands. Sinks are opened before the run, so
-/// a bad path fails fast with a named-path error instead of after minutes
-/// of work; finish() writes both files once the run is quiescent. An
-/// early error return drops a started trace in the destructor.
-class ObsSinks {
-  public:
-    ~ObsSinks() {
-        if (tracing_) obs::discard_trace();
-    }
-
-    /// 1 = consumed, 0 = not an obs flag, -1 = missing value.
-    template <typename NextFn>
-    int parse_flag(const std::string& arg, NextFn&& next) {
-        if (arg == "--trace") {
-            const char* v = next();
-            if (!v) return -1;
-            trace_path_ = v;
-            return 1;
-        }
-        if (arg == "--metrics") {
-            const char* v = next();
-            if (!v) return -1;
-            metrics_path_ = v;
-            return 1;
-        }
-        return 0;
-    }
-
-    /// Open both sinks and start recording. False (message printed) when
-    /// a path cannot be written.
-    bool open() {
-        if (!trace_path_.empty()) {
-            trace_out_.open(trace_path_);
-            if (!trace_out_) {
-                std::fprintf(stderr, "cannot write %s\n",
-                             trace_path_.c_str());
-                return false;
-            }
-            tracing_ = obs::start_tracing();
-        }
-        if (!metrics_path_.empty() && metrics_path_ != "-") {
-            metrics_out_.open(metrics_path_);
-            if (!metrics_out_) {
-                std::fprintf(stderr, "cannot write %s\n",
-                             metrics_path_.c_str());
-                return false;
-            }
-        }
-        return true;
-    }
-
-    /// Merge and write the trace, snapshot the metrics registry. Call
-    /// after the run's thread pools have joined. False on write failure.
-    bool finish() {
-        bool ok = true;
-        if (tracing_) {
-            obs::stop_tracing(trace_out_);
-            tracing_ = false;
-            trace_out_.flush();
-            if (!trace_out_) {
-                std::fprintf(stderr, "cannot write %s\n",
-                             trace_path_.c_str());
-                ok = false;
-            } else {
-                std::printf("wrote %s\n", trace_path_.c_str());
-            }
-        }
-        if (!metrics_path_.empty()) {
-            if (metrics_path_ == "-") {
-                obs::Registry::global().write_json(std::cout);
-            } else {
-                obs::Registry::global().write_json(metrics_out_);
-                metrics_out_.flush();
-                if (!metrics_out_) {
-                    std::fprintf(stderr, "cannot write %s\n",
-                                 metrics_path_.c_str());
-                    ok = false;
-                } else {
-                    std::printf("wrote %s\n", metrics_path_.c_str());
-                }
-            }
-        }
-        return ok;
-    }
-
-  private:
-    std::string trace_path_;
-    std::string metrics_path_;
-    std::ofstream trace_out_;
-    std::ofstream metrics_out_;
-    bool tracing_ = false;
-};
+using tools::ObsSinks;
 
 /// Parse a "400,600" MHz list into Hz, shared by both subcommands; prints
 /// the offending token and returns false on a malformed or non-positive
@@ -1017,6 +954,231 @@ int run_synthesize(int argc, char** argv) {
     return 0;
 }
 
+/// One request/response round trip to a sunfloord. False (message
+/// printed) on connect/transport failure.
+bool service_call(const std::string& connect, const std::string& frame,
+                  JsonValue& resp) {
+    service::Client client;
+    std::string err;
+    if (!client.connect(connect, err)) {
+        std::fprintf(stderr, "cannot connect to %s: %s\n", connect.c_str(),
+                     err.c_str());
+        return false;
+    }
+    if (!client.call(frame, resp, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return false;
+    }
+    return true;
+}
+
+/// Print a server-side error/rejection. Returns the exit code: 3 for a
+/// typed admission rejection (retryable), 1 otherwise.
+int report_server_error(const JsonValue& resp) {
+    const JsonValue* rej = resp.find("rejected");
+    const JsonValue* err = resp.find("error");
+    const std::string msg =
+        err && err->is_string() ? err->as_string() : "unknown error";
+    if (rej && rej->is_string()) {
+        std::fprintf(stderr, "rejected (%s): %s\n",
+                     rej->as_string().c_str(), msg.c_str());
+        return 3;
+    }
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+    return 1;
+}
+
+/// Print a terminal job's result payload: the CSV (byte-identical to the
+/// one-shot CLI's table) on stdout, or the failure on stderr.
+int print_result_payload(const JsonValue& resp) {
+    const JsonValue* status = resp.find("status");
+    const JsonValue* result = resp.find("result");
+    if (status && status->is_string() &&
+        status->as_string() == "failed") {
+        const JsonValue* e = result ? result->find("error") : nullptr;
+        std::fprintf(stderr, "job failed: %s\n",
+                     e && e->is_string() ? e->as_string().c_str()
+                                         : "unknown error");
+        return 1;
+    }
+    const JsonValue* csv = result ? result->find("csv") : nullptr;
+    if (!csv || !csv->is_string()) {
+        std::fprintf(stderr, "malformed response: no result csv\n");
+        return 1;
+    }
+    std::fputs(csv->as_string().c_str(), stdout);
+    return 0;
+}
+
+int run_submit(int argc, char** argv) {
+    std::string connect;
+    std::string design_file;
+    std::string benchmark;
+    service::SubmitRequest sr;
+    bool explore = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--connect") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            connect = v;
+        } else if (arg == "--design") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            design_file = v;
+        } else if (arg == "--benchmark") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            benchmark = v;
+        } else if (arg == "--client") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            sr.client = v;
+        } else if (arg == "--explore") {
+            explore = true;
+        } else if (arg == "--freq") {
+            const char* v = next();
+            if (!v || !parse_double_list(v, sr.params.freq_mhz))
+                return usage(argv[0]);
+        } else if (arg == "--max-tsvs") {
+            const char* v = next();
+            if (!v || !parse_int_list(v, sr.params.max_tsvs))
+                return usage(argv[0]);
+        } else if (arg == "--width") {
+            const char* v = next();
+            if (!v || !parse_int_list(v, sr.params.width_bits))
+                return usage(argv[0]);
+        } else if (arg == "--theta") {
+            const char* v = next();
+            if (!v || !parse_double_list(v, sr.params.thetas))
+                return usage(argv[0]);
+        } else if (arg == "--phase") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            for (const auto& part : split(v, ',')) {
+                SynthesisPhase p;
+                if (!phase_from_string(part, p))
+                    return bad_enum_value("--phase", part.c_str(),
+                                          phase_choices());
+                sr.params.phases.push_back(p);
+            }
+        } else if (arg == "--routing") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            for (const auto& part : split(v, ',')) {
+                routing::RoutingPolicyId p;
+                if (!routing::routing_from_string(part, p))
+                    return bad_enum_value("--routing", part.c_str(),
+                                          routing::routing_choices());
+                sr.params.routings.push_back(p);
+            }
+        } else if (arg == "--alpha") {
+            const char* v = next();
+            if (!v || !parse_double(v, sr.params.alpha))
+                return usage(argv[0]);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v || !parse_int64(v, sr.params.seed) || sr.params.seed < 0)
+                return usage(argv[0]);
+        } else if (arg == "--no-floorplan") {
+            sr.params.floorplan = false;
+        } else if (arg == "--wait") {
+            sr.wait = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (connect.empty()) {
+        std::fprintf(stderr, "submit requires --connect\n");
+        return 2;
+    }
+    if (design_file.empty() == benchmark.empty()) return usage(argv[0]);
+    sr.kind = explore ? service::JobKind::Explore : service::JobKind::Synth;
+
+    DesignSpec spec;
+    if (!load_spec(design_file, benchmark, spec)) return 1;
+    std::ostringstream os;
+    write_design(os, spec);
+    sr.spec_text = os.str();
+    sr.spec_name = spec.name;
+
+    JsonValue resp;
+    if (!service_call(connect, service::make_submit_frame(sr), resp))
+        return 1;
+    const JsonValue* ok = resp.find("ok");
+    if (!ok || !ok->is_bool() || !ok->as_bool())
+        return report_server_error(resp);
+    if (!sr.wait) {
+        const JsonValue* id = resp.find("id");
+        std::printf("%lld\n",
+                    id && id->is_integer() ? id->as_int64() : -1LL);
+        return 0;
+    }
+    return print_result_payload(resp);
+}
+
+/// status and result share the flag surface; `result_op` selects the op
+/// and the output (human status line vs the raw result CSV).
+int run_job_query(int argc, char** argv, bool result_op) {
+    std::string connect;
+    long long id = -1;
+    bool wait = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--connect") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            connect = v;
+        } else if (arg == "--id") {
+            const char* v = next();
+            if (!v || !parse_int64(v, id) || id < 0) return usage(argv[0]);
+        } else if (result_op && arg == "--wait") {
+            wait = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (connect.empty() || id < 0) {
+        std::fprintf(stderr, "%s requires --connect and --id\n",
+                     result_op ? "result" : "status");
+        return 2;
+    }
+    const std::string frame =
+        result_op
+            ? service::make_result_frame(static_cast<std::uint64_t>(id),
+                                         wait)
+            : service::make_status_frame(static_cast<std::uint64_t>(id));
+    JsonValue resp;
+    if (!service_call(connect, frame, resp)) return 1;
+    const JsonValue* ok = resp.find("ok");
+    if (!ok || !ok->is_bool() || !ok->as_bool())
+        return report_server_error(resp);
+    if (result_op) return print_result_payload(resp);
+
+    const JsonValue* status = resp.find("status");
+    const JsonValue* kind = resp.find("kind");
+    const JsonValue* wait_ms = resp.find("wait_ms");
+    const JsonValue* run_ms = resp.find("run_ms");
+    std::printf("job %lld: %s (%s, wait %.1f ms, run %.1f ms)\n", id,
+                status && status->is_string() ? status->as_string().c_str()
+                                              : "?",
+                kind && kind->is_string() ? kind->as_string().c_str()
+                                          : "?",
+                wait_ms && wait_ms->is_number() ? wait_ms->as_double()
+                                                : 0.0,
+                run_ms && run_ms->is_number() ? run_ms->as_double() : 0.0);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1026,5 +1188,11 @@ int main(int argc, char** argv) {
         return run_simulate(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "generate")
         return run_generate(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "submit")
+        return run_submit(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "status")
+        return run_job_query(argc, argv, /*result_op=*/false);
+    if (argc > 1 && std::string(argv[1]) == "result")
+        return run_job_query(argc, argv, /*result_op=*/true);
     return run_synthesize(argc, argv);
 }

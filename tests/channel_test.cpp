@@ -1,0 +1,176 @@
+// Bounded MPSC/MPMC channel semantics: FIFO ordering (global, and per
+// producer under contention), the hard capacity bound (try_send Full,
+// send blocking until a receiver makes room), and the shutdown contract
+// (close wakes blocked senders and receivers; receivers drain accepted
+// items before seeing Closed). Runs under TSan in CI — the threaded
+// cases double as data-race probes on the channel's lock discipline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sunfloor/util/channel.h"
+
+namespace sunfloor {
+namespace {
+
+TEST(Channel, FifoWithinCapacity) {
+    Channel<int> ch(8);
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(ch.send(i));
+    EXPECT_EQ(ch.size(), 8u);
+    int v = -1;
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(ch.recv(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, CapacityZeroClampsToOne) {
+    Channel<int> ch(0);
+    EXPECT_EQ(ch.capacity(), 1u);
+    EXPECT_EQ(ch.try_send(1), TrySend::Ok);
+    EXPECT_EQ(ch.try_send(2), TrySend::Full);
+}
+
+TEST(Channel, TrySendFullAndTryRecvEmptyAreDistinctFromClosed) {
+    Channel<int> ch(2);
+    EXPECT_EQ(ch.try_send(1), TrySend::Ok);
+    EXPECT_EQ(ch.try_send(2), TrySend::Ok);
+    EXPECT_EQ(ch.try_send(3), TrySend::Full);  // back-pressure, not closed
+    int v = -1;
+    EXPECT_TRUE(ch.recv(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(ch.recv(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_EQ(ch.try_recv(v), TryRecv::Empty);
+    EXPECT_EQ(v, 2);  // Empty leaves `out` untouched
+    ch.close();
+    EXPECT_EQ(ch.try_send(4), TrySend::Closed);
+    EXPECT_EQ(ch.try_recv(v), TryRecv::Closed);
+}
+
+TEST(Channel, SendBlocksUntilReceiverMakesRoom) {
+    Channel<int> ch(1);
+    EXPECT_TRUE(ch.send(0));
+    std::atomic<bool> second_sent{false};
+    std::thread sender([&] {
+        EXPECT_TRUE(ch.send(1));  // blocks: channel is full
+        second_sent.store(true);
+    });
+    // The sender cannot complete before a recv frees the slot. (A sleep
+    // can only produce false passes here, never flaky failures.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_sent.load());
+    int v = -1;
+    EXPECT_TRUE(ch.recv(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(ch.recv(v));
+    EXPECT_EQ(v, 1);
+    sender.join();
+    EXPECT_TRUE(second_sent.load());
+}
+
+TEST(Channel, CloseWakesBlockedSender) {
+    Channel<int> ch(1);
+    EXPECT_TRUE(ch.send(0));
+    std::thread sender([&] {
+        EXPECT_FALSE(ch.send(1));  // blocked on full, then closed
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.close();
+    sender.join();
+    // The item accepted before the close is still drainable.
+    int v = -1;
+    EXPECT_EQ(ch.try_recv(v), TryRecv::Ok);
+    EXPECT_EQ(v, 0);
+    EXPECT_EQ(ch.try_recv(v), TryRecv::Closed);
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+    Channel<int> ch(1);
+    std::thread receiver([&] {
+        int v = -1;
+        EXPECT_FALSE(ch.recv(v));  // blocked on empty, then closed
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.close();
+    receiver.join();
+}
+
+TEST(Channel, ReceiversDrainAcceptedItemsAfterClose) {
+    Channel<int> ch(4);
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(ch.send(i));
+    ch.close();
+    EXPECT_FALSE(ch.send(99));  // nothing accepted after close
+    int v = -1;
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(ch.recv(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ch.recv(v));  // closed and drained
+}
+
+TEST(Channel, PerProducerOrderSurvivesContention) {
+    // 4 producers x 200 items over a capacity-3 channel: every item
+    // arrives exactly once and each producer's sequence stays in order
+    // even though the global interleaving is arbitrary.
+    constexpr int kProducers = 4;
+    constexpr int kItems = 200;
+    Channel<std::pair<int, int>> ch(3);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&ch, p] {
+            for (int i = 0; i < kItems; ++i)
+                ASSERT_TRUE(ch.send({p, i}));
+        });
+    std::vector<int> next_seq(kProducers, 0);
+    std::pair<int, int> item;
+    for (int n = 0; n < kProducers * kItems; ++n) {
+        ASSERT_TRUE(ch.recv(item));
+        ASSERT_GE(item.first, 0);
+        ASSERT_LT(item.first, kProducers);
+        EXPECT_EQ(item.second, next_seq[item.first]++);
+    }
+    for (std::thread& t : producers) t.join();
+    for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kItems);
+}
+
+TEST(Channel, MultiConsumerShutdownDeliversEverythingExactlyOnce) {
+    // The server shape: N producers, M consumers, close() as the only
+    // shutdown signal. Every sent item is received exactly once and all
+    // consumers exit after the drain.
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 4;
+    constexpr int kItems = 150;
+    Channel<int> ch(5);
+    std::atomic<int> received{0};
+    std::atomic<long long> sum{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            int v = -1;
+            while (ch.recv(v)) {
+                received.fetch_add(1);
+                sum.fetch_add(v);
+            }
+        });
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&ch, p] {
+            for (int i = 0; i < kItems; ++i)
+                ASSERT_TRUE(ch.send(p * kItems + i));
+        });
+    for (std::thread& t : producers) t.join();
+    ch.close();
+    for (std::thread& t : consumers) t.join();
+    constexpr int kTotal = kProducers * kItems;
+    EXPECT_EQ(received.load(), kTotal);
+    EXPECT_EQ(sum.load(),
+              static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sunfloor
