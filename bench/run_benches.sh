@@ -20,12 +20,17 @@
 #     engine per request vs one persistent warm engine, plus the
 #     warm/cold speedup; set SERVICE_WARM_SPEEDUP_FLOOR=<ratio> to fail
 #     the run when the warm-session win falls below the floor)
+#   bench_dist            -> BENCH_dist.json (distributed exploration:
+#     points/sec per in-process shard-worker count with speedup vs one
+#     worker, plus cold vs warm content-addressed artifact store reruns
+#     and the warm/cold speedup; set DIST_WARM_SPEEDUP_FLOOR=<ratio> to
+#     fail the run when the warm-store win falls below the floor)
 # Extra arguments are passed through to every bench binary
 # (e.g. --benchmark_min_time=2x).
 #
 # Usage: bench/run_benches.sh [build_dir] [explore_out.json] [sim_out.json]
 #                             [obs_out.json] [service_out.json]
-#                             [bench args...]
+#                             [dist_out.json] [bench args...]
 # (the old two-positional form `run_benches.sh build out.json --flag`
 # still works: a leading-dash third argument is a bench flag, not a path)
 #
@@ -40,6 +45,7 @@ OUT_EXPLORE=${2:-BENCH_explore.json}
 OUT_SIM=BENCH_sim.json
 OUT_OBS=BENCH_obs.json
 OUT_SERVICE=BENCH_service.json
+OUT_DIST=BENCH_dist.json
 shift $(( $# >= 2 ? 2 : $# ))
 if [[ $# -ge 1 && ${1} != -* ]]; then
     OUT_SIM=$1
@@ -51,6 +57,10 @@ if [[ $# -ge 1 && ${1} != -* ]]; then
 fi
 if [[ $# -ge 1 && ${1} != -* ]]; then
     OUT_SERVICE=$1
+    shift
+fi
+if [[ $# -ge 1 && ${1} != -* ]]; then
+    OUT_DIST=$1
     shift
 fi
 
@@ -414,5 +424,99 @@ if floor > 0:
     if speedup < floor:
         print(f"error: warm/cold speedup {speedup} is below "
               f"SERVICE_WARM_SPEEDUP_FLOOR={floor}", file=sys.stderr)
+        sys.exit(1)
+EOF
+
+# --------------------------------------------------- distributed explore
+run_bench bench_dist --benchmark_format=json \
+    --benchmark_min_time=0.01 "$@"
+
+python3 - "$RAW" "$OUT_DIST" <<'EOF'
+import json, os, sys
+
+raw = json.load(open(sys.argv[1]))
+shard_rows = {}
+cas_rows = {}
+for b in raw.get("benchmarks", []):
+    # Names look like BM_dist_shards/2/process_time/real_time and
+    # BM_dist_cas_cold/real_time (plus /repeats:N when
+    # --benchmark_repetitions is passed through); skip the aggregate
+    # rows and average per-repetition measurements, as the other
+    # parsers do.
+    if "aggregate_name" in b:
+        continue
+    if b.get("error_occurred"):
+        print(f"skipping {b['name']}: {b.get('error_message', 'error')}",
+              file=sys.stderr)
+        continue
+    parts = b["name"].split("/")
+    if parts[0] == "BM_dist_shards":
+        shard_rows.setdefault(int(parts[1]), []).append(b)
+    elif parts[0] in ("BM_dist_cas_cold", "BM_dist_cas_warm"):
+        cas_rows.setdefault(parts[0], []).append(b)
+
+workers = {}
+for w, bs in shard_rows.items():
+    n = len(bs)
+    workers[w] = {
+        "real_time_ms": round(sum(b["real_time"] for b in bs) / n, 3),
+        "points_per_sec": round(
+            sum(b.get("points_per_sec", 0.0) for b in bs) / n, 3),
+        "grid_points": int(bs[0].get("points", 0)),
+        "repetitions": n,
+    }
+base = workers.get(1, {}).get("real_time_ms")
+for w, r in workers.items():
+    r["speedup_vs_1_worker"] = \
+        round(base / r["real_time_ms"], 3) if base else None
+
+cas = {}
+for name, key in (("cold", "BM_dist_cas_cold"), ("warm", "BM_dist_cas_warm")):
+    bs = cas_rows.get(key, [])
+    if not bs:
+        continue
+    n = len(bs)
+    cas[name] = {
+        "real_time_ms": round(sum(b["real_time"] for b in bs) / n, 3),
+        "repetitions": n,
+    }
+if cas.get("warm"):
+    bs = cas_rows["BM_dist_cas_warm"]
+    cas["warm"]["cas_hits_per_run"] = int(
+        sum(b.get("cas_hits", 0.0) for b in bs) / len(bs))
+
+speedup = None
+if "cold" in cas and "warm" in cas and cas["warm"]["real_time_ms"] > 0:
+    speedup = round(cas["cold"]["real_time_ms"] /
+                    cas["warm"]["real_time_ms"], 3)
+
+out = {
+    "bench": "bench_dist",
+    "context": {k: raw["context"].get(k) for k in ("num_cpus", "date", "library_build_type")},
+    "workers": {str(w): workers[w] for w in sorted(workers)},
+    "cas": cas,
+    "warm_speedup_vs_cold": speedup,
+}
+tmp = sys.argv[2] + ".tmp"
+with open(tmp, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+os.replace(tmp, sys.argv[2])
+print(json.dumps(out, indent=2))
+
+# Warm-store sanity floor: sharded results are byte-identical warm or
+# cold (tests/dist_test.cpp), so a rerun against a populated store must
+# win by skipping the stage recomputation. The floor should sit far
+# below the typical ratio (see ci.yml) so only a broken CAS read path —
+# every get a miss — trips it, not machine variance.
+floor = float(os.environ.get("DIST_WARM_SPEEDUP_FLOOR", "0") or "0")
+if floor > 0:
+    if speedup is None:
+        print("error: DIST_WARM_SPEEDUP_FLOOR set but the speedup "
+              "could not be computed", file=sys.stderr)
+        sys.exit(1)
+    if speedup < floor:
+        print(f"error: warm/cold speedup {speedup} is below "
+              f"DIST_WARM_SPEEDUP_FLOOR={floor}", file=sys.stderr)
         sys.exit(1)
 EOF

@@ -1,0 +1,329 @@
+#include "sunfloor/cas/codec.h"
+
+#include <cstdint>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sunfloor/cas/bincode.h"
+
+namespace sunfloor::cas {
+
+namespace {
+
+// One-byte artifact tags so a blob can never be decoded as the wrong kind.
+constexpr std::uint8_t kTagPartition = 'P';
+constexpr std::uint8_t kTagAssignment = 'A';
+constexpr std::uint8_t kTagRouting = 'R';
+constexpr std::uint8_t kTagPlacement = 'L';
+constexpr std::uint8_t kTagEvaluation = 'E';
+
+void enc_rng(Enc& e, const RngState& s) {
+    for (int i = 0; i < 4; ++i) e.u64(s.s[i]);
+}
+
+RngState dec_rng(Dec& d) {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.s[i] = d.u64();
+    return s;
+}
+
+void enc_topology(Enc& e, const Topology& t) {
+    e.i32(t.num_cores());
+    for (int c = 0; c < t.num_cores(); ++c) {
+        const NodeRef n = NodeRef::core(c);
+        const Point p = t.node_position(n);
+        e.f64(p.x);
+        e.f64(p.y);
+        e.i32(t.node_layer(n));
+    }
+    e.i32(t.num_switches());
+    for (int s = 0; s < t.num_switches(); ++s) {
+        const NocSwitch& sw = t.switch_at(s);
+        e.str(sw.name);
+        e.i32(sw.layer);
+        e.f64(sw.position.x);
+        e.f64(sw.position.y);
+    }
+    e.i32(t.num_links());
+    for (int l = 0; l < t.num_links(); ++l) {
+        const NocLink& lk = t.link(l);
+        e.u8(lk.src.is_core() ? 0 : 1);
+        e.i32(lk.src.index);
+        e.u8(lk.dst.is_core() ? 0 : 1);
+        e.i32(lk.dst.index);
+        e.u8(static_cast<std::uint8_t>(lk.cls));
+        e.f64(lk.bw_mbps);
+    }
+    e.i32(t.num_flows());
+    for (int f = 0; f < t.num_flows(); ++f) e.ints(t.flow_path(f));
+}
+
+/// Rebuild a Topology through its public mutators: construct from the
+/// spec's cores, restore per-core geometry snapshots, append switches and
+/// links *in serialized order* (add_parallel_link never dedups, so ids are
+/// preserved), replay the flow paths (which re-runs set_flow_path's
+/// contiguity/class invariants), then patch each link's accumulated
+/// bandwidth to the exact serialized bits.
+std::optional<Topology> dec_topology(Dec& d, const DesignSpec& spec) {
+    const int num_cores = d.i32();
+    if (!d.ok() || num_cores != spec.cores.num_cores()) return std::nullopt;
+    struct CoreGeom {
+        Point center;
+        int layer;
+    };
+    std::vector<CoreGeom> cores(static_cast<std::size_t>(num_cores));
+    for (auto& c : cores) {
+        c.center.x = d.f64();
+        c.center.y = d.f64();
+        c.layer = d.i32();
+    }
+    const int num_switches = d.i32();
+    if (!d.ok() || num_switches < 0) return std::nullopt;
+    struct SwitchRec {
+        std::string name;
+        int layer;
+        Point pos;
+    };
+    std::vector<SwitchRec> switches;
+    switches.reserve(static_cast<std::size_t>(num_switches));
+    for (int s = 0; s < num_switches; ++s) {
+        SwitchRec r;
+        r.name = d.str();
+        r.layer = d.i32();
+        r.pos.x = d.f64();
+        r.pos.y = d.f64();
+        if (!d.ok()) return std::nullopt;
+        switches.push_back(std::move(r));
+    }
+    const int num_links = d.i32();
+    if (!d.ok() || num_links < 0) return std::nullopt;
+    struct LinkRec {
+        NodeRef src, dst;
+        FlowType cls;
+        double bw;
+    };
+    std::vector<LinkRec> links;
+    links.reserve(static_cast<std::size_t>(num_links));
+    for (int l = 0; l < num_links; ++l) {
+        LinkRec r;
+        const std::uint8_t sk = d.u8();
+        r.src = sk == 0 ? NodeRef::core(d.i32()) : NodeRef::sw(d.i32());
+        const std::uint8_t dk = d.u8();
+        r.dst = dk == 0 ? NodeRef::core(d.i32()) : NodeRef::sw(d.i32());
+        const std::uint8_t cls = d.u8();
+        if (cls > 1 || sk > 1 || dk > 1) return std::nullopt;
+        r.cls = static_cast<FlowType>(cls);
+        r.bw = d.f64();
+        if (!d.ok()) return std::nullopt;
+        links.push_back(r);
+    }
+    const int num_flows = d.i32();
+    if (!d.ok() || num_flows != spec.comm.num_flows()) return std::nullopt;
+    std::vector<std::vector<int>> paths(static_cast<std::size_t>(num_flows));
+    for (auto& p : paths) {
+        p = d.ints();
+        if (!d.ok()) return std::nullopt;
+    }
+
+    try {
+        Topology topo(spec.cores, num_flows);
+        for (int c = 0; c < num_cores; ++c)
+            topo.set_core_geometry(c, cores[static_cast<std::size_t>(c)].center,
+                                   cores[static_cast<std::size_t>(c)].layer);
+        for (auto& s : switches)
+            topo.add_switch(std::move(s.name), s.layer, s.pos);
+        for (const auto& l : links) topo.add_parallel_link(l.src, l.dst, l.cls);
+        for (int f = 0; f < num_flows; ++f)
+            if (!paths[static_cast<std::size_t>(f)].empty())
+                topo.set_flow_path(f, spec.comm.flow(f),
+                                   paths[static_cast<std::size_t>(f)]);
+        for (int l = 0; l < num_links; ++l)
+            topo.link(l).bw_mbps = links[static_cast<std::size_t>(l)].bw;
+        return topo;
+    } catch (const std::exception&) {
+        // A mutator rejected the data (bad index, broken path): corrupt.
+        return std::nullopt;
+    }
+}
+
+void enc_report(Enc& e, const EvalReport& r) {
+    e.f64(r.power.switch_mw);
+    e.f64(r.power.s2s_link_mw);
+    e.f64(r.power.c2s_link_mw);
+    e.f64(r.power.ni_mw);
+    e.f64(r.avg_latency_cycles);
+    e.f64(r.max_latency_cycles);
+    e.i32(r.latency_violations);
+    e.u8(r.all_flows_routed ? 1 : 0);
+    e.f64(r.switch_area_mm2);
+    e.f64(r.ni_area_mm2);
+    e.f64(r.tsv_macro_area_mm2);
+    e.i32(r.total_tsvs);
+    e.i32(r.max_ill_used);
+    e.doubles(r.wire_lengths_mm);
+    e.doubles(r.flow_latency_cycles);
+}
+
+EvalReport dec_report(Dec& d) {
+    EvalReport r;
+    r.power.switch_mw = d.f64();
+    r.power.s2s_link_mw = d.f64();
+    r.power.c2s_link_mw = d.f64();
+    r.power.ni_mw = d.f64();
+    r.avg_latency_cycles = d.f64();
+    r.max_latency_cycles = d.f64();
+    r.latency_violations = d.i32();
+    r.all_flows_routed = d.u8() != 0;
+    r.switch_area_mm2 = d.f64();
+    r.ni_area_mm2 = d.f64();
+    r.tsv_macro_area_mm2 = d.f64();
+    r.total_tsvs = d.i32();
+    r.max_ill_used = d.i32();
+    r.wire_lengths_mm = d.doubles();
+    r.flow_latency_cycles = d.doubles();
+    return r;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- partition
+
+std::string encode_partition(const pipeline::PartitionArtifact& a) {
+    Enc e;
+    e.u8(kTagPartition);
+    e.ints(a.block);
+    e.f64(a.cut_weight);
+    e.i32(a.k);
+    enc_rng(e, a.rng_after);
+    return e.take();
+}
+
+std::optional<pipeline::PartitionArtifact> decode_partition(
+    std::string_view blob) {
+    Dec d(blob);
+    if (d.u8() != kTagPartition) return std::nullopt;
+    pipeline::PartitionArtifact a;
+    a.block = d.ints();
+    a.cut_weight = d.f64();
+    a.k = d.i32();
+    a.rng_after = dec_rng(d);
+    if (!d.done()) return std::nullopt;
+    return a;
+}
+
+// ------------------------------------------------------------- assignment
+
+std::string encode_assignment(const pipeline::AssignmentArtifact& a) {
+    Enc e;
+    e.u8(kTagAssignment);
+    e.ints(a.assign.core_switch);
+    e.ints(a.assign.switch_layer);
+    enc_rng(e, a.rng_after);
+    e.str(a.key);
+    return e.take();
+}
+
+std::optional<pipeline::AssignmentArtifact> decode_assignment(
+    std::string_view blob) {
+    Dec d(blob);
+    if (d.u8() != kTagAssignment) return std::nullopt;
+    pipeline::AssignmentArtifact a;
+    a.assign.core_switch = d.ints();
+    a.assign.switch_layer = d.ints();
+    a.rng_after = dec_rng(d);
+    a.key = d.str();
+    if (!d.done()) return std::nullopt;
+    return a;
+}
+
+// ---------------------------------------------------------------- routing
+
+std::string encode_routing(const pipeline::RoutingArtifact& a) {
+    Enc e;
+    e.u8(kTagRouting);
+    enc_topology(e, a.topo);
+    e.u8(a.ok ? 1 : 0);
+    e.str(a.fail_reason);
+    e.i32(a.failed_flows);
+    e.i32(a.capacity_violations);
+    return e.take();
+}
+
+std::optional<pipeline::RoutingArtifact> decode_routing(
+    std::string_view blob, const DesignSpec& spec) {
+    Dec d(blob);
+    if (d.u8() != kTagRouting) return std::nullopt;
+    auto topo = dec_topology(d, spec);
+    if (!topo) return std::nullopt;
+    pipeline::RoutingArtifact a(std::move(*topo));
+    a.ok = d.u8() != 0;
+    a.fail_reason = d.str();
+    a.failed_flows = d.i32();
+    a.capacity_violations = d.i32();
+    if (!d.done()) return std::nullopt;
+    return a;
+}
+
+// -------------------------------------------------------------- placement
+
+std::string encode_placement(const pipeline::PlacementArtifact& a) {
+    Enc e;
+    e.u8(kTagPlacement);
+    enc_topology(e, a.topo);
+    e.doubles(a.layer_die_area_mm2);
+    return e.take();
+}
+
+std::optional<pipeline::PlacementArtifact> decode_placement(
+    std::string_view blob, const DesignSpec& spec) {
+    Dec d(blob);
+    if (d.u8() != kTagPlacement) return std::nullopt;
+    auto topo = dec_topology(d, spec);
+    if (!topo) return std::nullopt;
+    pipeline::PlacementArtifact a(std::move(*topo));
+    a.layer_die_area_mm2 = d.doubles();
+    if (!d.done()) return std::nullopt;
+    return a;
+}
+
+// ------------------------------------------------------------- evaluation
+
+std::string encode_evaluation(const pipeline::EvaluatedDesign& a) {
+    Enc e;
+    e.u8(kTagEvaluation);
+    e.str(a.point.phase);
+    e.i32(a.point.switch_count);
+    e.f64(a.point.theta);
+    enc_topology(e, a.point.topo);
+    enc_report(e, a.point.report);
+    e.doubles(a.point.layer_die_area_mm2);
+    e.u8(a.point.valid ? 1 : 0);
+    e.str(a.point.fail_reason);
+    e.i32(a.point.capacity_violations);
+    return e.take();
+}
+
+std::optional<pipeline::EvaluatedDesign> decode_evaluation(
+    std::string_view blob, const DesignSpec& spec) {
+    Dec d(blob);
+    if (d.u8() != kTagEvaluation) return std::nullopt;
+    const std::string phase = d.str();
+    const int switch_count = d.i32();
+    const double theta = d.f64();
+    auto topo = dec_topology(d, spec);
+    if (!topo) return std::nullopt;
+    DesignPoint p(std::move(*topo));
+    p.phase = phase;
+    p.switch_count = switch_count;
+    p.theta = theta;
+    p.report = dec_report(d);
+    p.layer_die_area_mm2 = d.doubles();
+    p.valid = d.u8() != 0;
+    p.fail_reason = d.str();
+    p.capacity_violations = d.i32();
+    if (!d.done()) return std::nullopt;
+    return pipeline::EvaluatedDesign(std::move(p));
+}
+
+}  // namespace sunfloor::cas

@@ -1,0 +1,45 @@
+// Bit-exact binary serialization of pipeline artifacts for the CAS.
+//
+// Every encode_* renders the artifact's complete content — doubles as
+// their raw bit patterns, vectors length-prefixed, all integers
+// little-endian — so encode(decode(encode(x))) == encode(x) byte for byte
+// on any platform (property-tested in cas_test.cpp). The topology-bearing
+// artifacts decode against the owning DesignSpec: a Topology has no
+// default constructor and its mutators validate paths against the spec's
+// flows, so decoding re-runs the same invariants construction did.
+//
+// decode_* returns nullopt on any malformed input (truncation, trailing
+// garbage, out-of-range indices, invariant violations) — the CAS layer
+// treats that exactly like a store miss and recomputes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sunfloor/pipeline/artifacts.h"
+#include "sunfloor/spec/parser.h"
+
+namespace sunfloor::cas {
+
+std::string encode_partition(const pipeline::PartitionArtifact& a);
+std::optional<pipeline::PartitionArtifact> decode_partition(
+    std::string_view blob);
+
+std::string encode_assignment(const pipeline::AssignmentArtifact& a);
+std::optional<pipeline::AssignmentArtifact> decode_assignment(
+    std::string_view blob);
+
+std::string encode_routing(const pipeline::RoutingArtifact& a);
+std::optional<pipeline::RoutingArtifact> decode_routing(
+    std::string_view blob, const DesignSpec& spec);
+
+std::string encode_placement(const pipeline::PlacementArtifact& a);
+std::optional<pipeline::PlacementArtifact> decode_placement(
+    std::string_view blob, const DesignSpec& spec);
+
+std::string encode_evaluation(const pipeline::EvaluatedDesign& a);
+std::optional<pipeline::EvaluatedDesign> decode_evaluation(
+    std::string_view blob, const DesignSpec& spec);
+
+}  // namespace sunfloor::cas

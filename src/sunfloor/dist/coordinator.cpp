@@ -1,0 +1,314 @@
+#include "sunfloor/dist/coordinator.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "sunfloor/cas/codec.h"
+#include "sunfloor/dist/shard.h"
+#include "sunfloor/obs/metrics.h"
+#include "sunfloor/obs/trace.h"
+#include "sunfloor/service/transport.h"
+#include "sunfloor/util/enum_names.h"
+#include "sunfloor/util/strings.h"
+#include "sunfloor/util/thread_pool.h"
+
+namespace sunfloor::dist {
+
+namespace {
+
+constexpr EnumName<DistErrorKind> kKindNames[] = {
+    {DistErrorKind::Config, "config"},
+    {DistErrorKind::Transport, "transport"},
+    {DistErrorKind::Protocol, "protocol"},
+    {DistErrorKind::WorkerLost, "worker-lost"},
+};
+
+/// Close-on-every-path guard for a dialed socket.
+struct FdGuard {
+    int fd;
+    ~FdGuard() { service::close_fd(fd); }
+};
+
+}  // namespace
+
+const char* dist_error_kind_to_string(DistErrorKind kind) {
+    return enum_to_string<DistErrorKind>(kKindNames, kind, "config");
+}
+
+ShardResponse InprocTransport::run(const ShardRequest& req) {
+    // Full frame round trip on purpose: the inproc transport exists so
+    // tests (and TSan) can drive the exact socket code path without
+    // sockets, so it must not shortcut the codec.
+    std::string err;
+    WorkerRequest wreq;
+    if (!parse_worker_frame(make_shard_run_frame(req), wreq, err))
+        throw DistError(DistErrorKind::Protocol, "inproc: " + err);
+    std::string rframe;
+    try {
+        rframe = make_ok_frame(run_shard(wreq.run));
+    } catch (const std::exception& e) {
+        rframe = make_error_frame(e.what());
+    }
+    std::string payload;
+    if (!parse_response_frame(rframe, payload, err))
+        throw DistError(DistErrorKind::Transport, "inproc worker: " + err);
+    ShardResponse resp;
+    if (!decode_shard_response(payload, resp, err))
+        throw DistError(DistErrorKind::Protocol, "inproc: " + err);
+    return resp;
+}
+
+ShardResponse SocketTransport::run(const ShardRequest& req) {
+    std::string err;
+    service::Address addr;
+    if (!service::parse_address(address_, addr, err))
+        throw DistError(DistErrorKind::Config, address_ + ": " + err);
+    const int fd = service::dial(addr, err);
+    if (fd < 0)
+        throw DistError(DistErrorKind::Transport, address_ + ": " + err);
+    FdGuard guard{fd};
+    if (!service::write_all(fd, make_shard_run_frame(req) + "\n"))
+        throw DistError(DistErrorKind::Transport,
+                        address_ + ": connection lost while sending");
+    std::string buf;
+    std::string line;
+    for (;;) {
+        // No size cap: shard responses carry whole design sets.
+        const int r = service::read_line(fd, buf, line, 0, err);
+        if (r == 1) break;
+        if (r == -2) continue;  // receive-timeout pacing while it computes
+        throw DistError(DistErrorKind::Transport,
+                        address_ + (r == 0 ? ": worker closed the connection"
+                                           : ": " + err));
+    }
+    std::string payload;
+    if (!parse_response_frame(line, payload, err))
+        throw DistError(DistErrorKind::Transport, address_ + ": " + err);
+    ShardResponse resp;
+    if (!decode_shard_response(payload, resp, err))
+        throw DistError(DistErrorKind::Protocol, address_ + ": " + err);
+    return resp;
+}
+
+std::vector<std::size_t> shard_boundaries(std::size_t n, int shards) {
+    std::size_t k = shards < 1 ? 1 : static_cast<std::size_t>(shards);
+    if (k > n) k = n == 0 ? 1 : n;
+    std::vector<std::size_t> bounds;
+    bounds.reserve(k + 1);
+    const std::size_t base = n / k;
+    const std::size_t rem = n % k;
+    std::size_t at = 0;
+    bounds.push_back(at);
+    for (std::size_t s = 0; s < k; ++s) {
+        at += base + (s < rem ? 1 : 0);
+        bounds.push_back(at);
+    }
+    return bounds;
+}
+
+ExploreResult distribute_explore(
+    const DesignSpec& spec, const SynthesisConfig& base_cfg,
+    const ExploreOptions& opts, const std::vector<GridPoint>& points,
+    const std::vector<std::shared_ptr<ShardTransport>>& workers,
+    const DistOptions& dopts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedSpan span("dist.explore", "points",
+                         static_cast<long long>(points.size()));
+    if (workers.empty())
+        throw DistError(DistErrorKind::Config, "no shard workers");
+    for (const auto& w : workers)
+        if (w == nullptr)
+            throw DistError(DistErrorKind::Config, "null shard transport");
+
+    // ---------------------------------------------------- job scheduling
+    const std::vector<std::size_t> bounds =
+        shard_boundaries(points.size(), dopts.shards);
+    const std::size_t njobs = points.empty() ? 0 : bounds.size() - 1;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::size_t> queue;          // job indices, any order
+    std::vector<int> attempts(njobs, 0);
+    std::vector<ShardResponse> results(njobs);
+    std::size_t remaining = njobs;
+    int active = static_cast<int>(workers.size());
+    bool failed = false;
+    DistErrorKind fail_kind = DistErrorKind::Transport;
+    std::string fail_error;
+    for (std::size_t j = 0; j < njobs; ++j) queue.push_back(j);
+
+    auto& reg = obs::Registry::global();
+    reg.counter("dist.jobs.total").add(static_cast<long long>(njobs));
+
+    const auto worker_fn = [&](std::size_t wi) {
+        ShardTransport& transport = *workers[wi];
+        int consecutive = 0;
+        for (;;) {
+            std::size_t job = 0;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk, [&] {
+                    return failed || remaining == 0 || !queue.empty();
+                });
+                if (failed || remaining == 0) return;
+                job = queue.back();
+                queue.pop_back();
+            }
+            ShardRequest req;
+            req.spec = spec;
+            req.base_cfg = base_cfg;
+            req.opts = opts;
+            req.points.assign(
+                points.begin() + static_cast<std::ptrdiff_t>(bounds[job]),
+                points.begin() +
+                    static_cast<std::ptrdiff_t>(bounds[job + 1]));
+            req.cas_dir = dopts.cas_dir;
+            req.cas_max_bytes = dopts.cas_max_bytes;
+            try {
+                ShardResponse resp = transport.run(req);
+                if (resp.points.size() != req.points.size())
+                    throw DistError(
+                        DistErrorKind::Protocol,
+                        transport.describe() +
+                            ": shard returned wrong point count");
+                std::lock_guard<std::mutex> lk(mu);
+                results[job] = std::move(resp);
+                consecutive = 0;
+                if (--remaining == 0) cv.notify_all();
+            } catch (const DistError& e) {
+                std::lock_guard<std::mutex> lk(mu);
+                if (failed) return;
+                if (++attempts[job] > dopts.max_retries) {
+                    failed = true;
+                    fail_kind = e.kind();
+                    fail_error =
+                        format("shard job %zu failed after %d attempts "
+                               "(last worker %s): %s",
+                               job, attempts[job],
+                               transport.describe().c_str(), e.what());
+                    cv.notify_all();
+                    return;
+                }
+                // Back on the queue — any worker may take it.
+                queue.push_back(job);
+                reg.counter("dist.jobs.retried").add();
+                if (++consecutive >= kMaxConsecutiveFailures) {
+                    reg.counter("dist.workers.retired").add();
+                    if (--active == 0) {
+                        failed = true;
+                        fail_kind = DistErrorKind::WorkerLost;
+                        fail_error =
+                            format("all %zu shard workers retired with %zu "
+                                   "jobs outstanding (last error: %s)",
+                                   workers.size(), remaining, e.what());
+                    }
+                    cv.notify_all();
+                    return;
+                }
+                cv.notify_all();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (std::size_t wi = 0; wi < workers.size(); ++wi)
+        threads.emplace_back(worker_fn, wi);
+    for (std::thread& t : threads) t.join();
+    if (failed) throw DistError(fail_kind, fail_error);
+
+    // ------------------------------------------------ exact reassembly
+    //
+    // Everything below replays single-process bookkeeping over the
+    // shipped results; nothing is recomputed, so the merged result is the
+    // run(points) result bit for bit (see the header comment).
+    ExploreResult out;
+    const std::size_t n = points.size();
+    out.points.resize(n);
+    std::vector<std::string> keys(n);
+    std::unordered_map<std::string, std::size_t> first_of_key;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto& pr = out.points[i];
+        pr.point = points[i];
+        keys[i] = points[i].key();
+        pr.seed = explore_point_seed(opts.base_seed, keys[i]);
+        pr.synth_seed =
+            explore_point_seed(opts.base_seed, points[i].partition_key());
+        const bool inserted = first_of_key.emplace(keys[i], i).second;
+        // A fresh single-process explorer has an empty cross-run cache,
+        // so its hit flags are exactly "not the first of my key".
+        pr.cache_hit = opts.use_cache && !inserted;
+    }
+
+    std::vector<std::vector<ParetoEntry>> fronts(njobs);
+    for (std::size_t j = 0; j < njobs; ++j) {
+        for (std::size_t li = 0; li < results[j].points.size(); ++li) {
+            const std::size_t i = bounds[j] + li;
+            ShardPointResult& sp = results[j].points[li];
+            auto& pr = out.points[i];
+            pr.result.phase_used = std::move(sp.phase_used);
+            pr.result.points.reserve(sp.designs.size());
+            for (const std::string& blob : sp.designs) {
+                auto decoded = cas::decode_evaluation(blob, spec);
+                if (!decoded)
+                    throw DistError(DistErrorKind::Protocol,
+                                    format("undecodable design blob for "
+                                           "point %zu",
+                                           i));
+                pr.result.points.push_back(std::move(decoded->point));
+            }
+            pr.sim_reports = std::move(sp.sim_reports);
+        }
+        fronts[j] = std::move(results[j].pareto);
+        for (ParetoEntry& e : fronts[j])
+            e.point_index += static_cast<int>(bounds[j]);
+        out.stats.stage = out.stats.stage + results[j].stage;
+    }
+
+    out.pareto = merge_pareto_fronts(
+        out.points, fronts, opts.backend == EvalBackend::Simulated);
+    for (const ParetoEntry& e : out.pareto)
+        ++out.points[static_cast<std::size_t>(e.point_index)]
+              .pareto_survivors;
+
+    auto& st = out.stats;
+    st.total_points = static_cast<int>(n);
+    st.evaluated_points = static_cast<int>(
+        opts.use_cache ? first_of_key.size() : n);
+    st.cache_hits = st.total_points - st.evaluated_points;
+    std::unordered_map<std::string, char> counted;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& pr = out.points[i];
+        st.total_designs += static_cast<int>(pr.result.points.size());
+        st.valid_designs += pr.result.num_valid();
+        if (counted.emplace(keys[i], 1).second) {
+            st.unique_valid_designs += pr.result.num_valid();
+            if (opts.backend == EvalBackend::Simulated)
+                for (const DesignPoint& dp : pr.result.points)
+                    if (dp.valid && dp.topo.all_flows_routed())
+                        ++st.simulated_designs;
+        }
+    }
+    st.pareto_size = static_cast<int>(out.pareto.size());
+    st.dominated_designs = st.unique_valid_designs - st.pareto_size;
+    // The thread clamp the single-process run reports: never more workers
+    // than points to evaluate, 1 when the work ran inline, 0 on none.
+    int threads_stat = opts.num_threads;
+    if (threads_stat <= 0) threads_stat = ThreadPool::default_thread_count();
+    if (threads_stat > st.evaluated_points)
+        threads_stat = st.evaluated_points;
+    if (threads_stat <= 1) threads_stat = st.evaluated_points > 0 ? 1 : 0;
+    st.num_threads = threads_stat;
+    st.backend = opts.backend;
+    st.elapsed_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return out;
+}
+
+}  // namespace sunfloor::dist

@@ -1,5 +1,6 @@
 #include "sunfloor/explore/explorer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -163,6 +164,62 @@ std::vector<ParetoEntry> global_pareto_measured(
     return dominance_filter(cands);
 }
 
+std::vector<ParetoEntry> merge_pareto_fronts(
+    const std::vector<ExplorePointResult>& points,
+    const std::vector<std::vector<ParetoEntry>>& fronts, bool measured) {
+    // Globally-first occurrence of every key: duplicate-key points carry
+    // identical designs, so a slice front computed on a later duplicate
+    // names the same design the global front names at the first.
+    std::unordered_map<std::string, int> first_of_key;
+    std::vector<int> remap(points.size());
+    for (int pi = 0; pi < static_cast<int>(points.size()); ++pi)
+        remap[static_cast<std::size_t>(pi)] =
+            first_of_key
+                .emplace(points[static_cast<std::size_t>(pi)].point.key(), pi)
+                .first->second;
+
+    // Union of the slice fronts, remapped and deduplicated. Without the
+    // dedup, identical copies of one design would all survive the strict
+    // dominance scan below and inflate the front.
+    std::vector<ParetoEntry> entries;
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& front : fronts)
+        for (const ParetoEntry& e : front) {
+            const int pi = remap[static_cast<std::size_t>(e.point_index)];
+            const std::uint64_t id =
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pi))
+                 << 32) |
+                static_cast<std::uint32_t>(e.design_index);
+            if (seen.insert(id).second)
+                entries.push_back({pi, e.design_index});
+        }
+    std::sort(entries.begin(), entries.end(),
+              [](const ParetoEntry& a, const ParetoEntry& b) {
+                  return a.point_index != b.point_index
+                             ? a.point_index < b.point_index
+                             : a.design_index < b.design_index;
+              });
+
+    std::deque<EvalReport> overridden;
+    std::vector<Candidate> cands;
+    cands.reserve(entries.size());
+    for (const ParetoEntry& e : entries) {
+        const auto& pr = points[static_cast<std::size_t>(e.point_index)];
+        const auto& dp =
+            pr.result.points[static_cast<std::size_t>(e.design_index)];
+        const sim::SimReport* sr =
+            measured ? pr.sim_report(e.design_index) : nullptr;
+        if (sr != nullptr) {
+            overridden.push_back(dp.report);
+            overridden.back().avg_latency_cycles = sr->avg_latency_cycles;
+            cands.push_back({e, &overridden.back()});
+        } else {
+            cands.push_back({e, &dp.report});
+        }
+    }
+    return dominance_filter(cands);
+}
+
 Explorer::Explorer(DesignSpec spec, SynthesisConfig base_cfg,
                    ExploreOptions opts)
     : spec_(std::move(spec)), base_cfg_(std::move(base_cfg)), opts_(opts),
@@ -179,10 +236,13 @@ std::size_t Explorer::cache_size() const {
 }
 
 ExploreResult Explorer::run(const ParamGrid& grid) const {
+    return run(grid.enumerate());
+}
+
+ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
     const auto t0 = std::chrono::steady_clock::now();
 
     ExploreResult out;
-    const std::vector<GridPoint> points = grid.enumerate();
     out.points.resize(points.size());
     for (std::size_t i = 0; i < points.size(); ++i)
         out.points[i].point = points[i];

@@ -178,6 +178,13 @@ class Explorer {
     /// across concurrent and successive runs.
     ExploreResult run(const ParamGrid& grid) const;
 
+    /// Evaluate an explicit point list (what a distribution shard runs: a
+    /// contiguous slice of some grid's enumeration, indices preserved).
+    /// Identical to run(grid) when `points` is the full enumeration; per
+    /// point, designs/seeds/sim reports depend only on that point's key,
+    /// which is what makes slice results mergeable bit-exactly.
+    ExploreResult run(const std::vector<GridPoint>& points) const;
+
     /// Entries in the cross-run evaluation cache.
     std::size_t cache_size() const;
 
@@ -209,5 +216,18 @@ std::vector<ParetoEntry> global_pareto(
 /// report keep their analytic latency.
 std::vector<ParetoEntry> global_pareto_measured(
     const std::vector<ExplorePointResult>& points);
+
+/// Associative merge of per-slice Pareto fronts into the global front.
+/// `points` is the full reconstructed point list (grid order); each front
+/// holds entries whose point_index is already *global* (the coordinator
+/// remaps slice-local indices before calling). Exact: because strict
+/// dominance is transitive and every globally undominated design is
+/// undominated within its own slice (so present in that slice's front),
+/// deduplicating the union to globally-first key occurrences and
+/// re-filtering equals global_pareto(points) — or the measured variant
+/// when `measured` — entry for entry (property-tested in dist_test.cpp).
+std::vector<ParetoEntry> merge_pareto_fronts(
+    const std::vector<ExplorePointResult>& points,
+    const std::vector<std::vector<ParetoEntry>>& fronts, bool measured);
 
 }  // namespace sunfloor

@@ -5,8 +5,11 @@
 #include <cmath>
 #include <cstring>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
+#include "sunfloor/cas/codec.h"
+#include "sunfloor/cas/store.h"
 #include "sunfloor/core/partition_graphs.h"
 #include "sunfloor/core/path_compute.h"
 #include "sunfloor/core/switch_placement.h"
@@ -329,6 +332,23 @@ SessionStats operator-(const SessionStats& a, const SessionStats& b) {
     return d;
 }
 
+SessionStats operator+(const SessionStats& a, const SessionStats& b) {
+    auto add = [](const StageCounters& x, const StageCounters& y) {
+        StageCounters s;
+        s.hits = x.hits + y.hits;
+        s.misses = x.misses + y.misses;
+        s.compute_ms = x.compute_ms + y.compute_ms;
+        return s;
+    };
+    SessionStats s;
+    s.partition = add(a.partition, b.partition);
+    s.routing = add(a.routing, b.routing);
+    s.placement = add(a.placement, b.placement);
+    s.position_lp = add(a.position_lp, b.position_lp);
+    s.evaluation = add(a.evaluation, b.evaluation);
+    return s;
+}
+
 struct SynthesisSession::GraphEntry {
     Digraph g;         ///< PG or SPG
     LayerGraph layer;  ///< LPG
@@ -344,7 +364,17 @@ SynthesisSession::StageMetrics SynthesisSession::stage_metrics(
 }
 
 SynthesisSession::SynthesisSession(DesignSpec spec, SessionOptions opts)
-    : spec_(std::move(spec)), opts_(opts) {
+    : spec_(std::move(spec)), opts_(std::move(opts)) {
+    if (opts_.cas) {
+        // Stage keys serialize everything a stage consumed *except* the
+        // spec (the in-memory caches are per-spec already); an on-disk
+        // store shared across runs needs the spec in the key too.
+        std::ostringstream ss;
+        write_design(ss, spec_);
+        cas_prefix_ = format(
+            "s%016llx|",
+            static_cast<unsigned long long>(cas::fnv1a64(ss.str())));
+    }
     m_partition_ = stage_metrics("partition");
     m_routing_ = stage_metrics("routing");
     m_placement_ = stage_metrics("placement");
@@ -401,6 +431,19 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
             return it->second;
         }
     }
+    if (opts_.cas) {
+        std::string blob;
+        if (opts_.cas->get(cas_prefix_ + key, blob)) {
+            if (auto art = cas::decode_partition(blob)) {
+                m_partition_.hits->add();
+                auto sp = std::make_shared<const PartitionArtifact>(
+                    std::move(*art));
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!opts_.cache_partitions) return sp;
+                return partitions_.emplace(key, std::move(sp)).first->second;
+            }
+        }
+    }
 
     obs::ScopedSpan span("pipeline.partition", "k", k);
     const auto t0 = std::chrono::steady_clock::now();
@@ -417,6 +460,8 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
     artifact->rng_after = rng.state();
     m_partition_.misses->add();
     m_partition_.compute_ms->add(ms_since(t0));
+    if (opts_.cas)
+        opts_.cas->put(cas_prefix_ + key, cas::encode_partition(*artifact));
 
     std::lock_guard<std::mutex> lock(mu_);
     if (!opts_.cache_partitions) return artifact;
@@ -436,6 +481,19 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
             return it->second;
         }
     }
+    if (opts_.cas) {
+        std::string blob;
+        if (opts_.cas->get(cas_prefix_ + key, blob)) {
+            if (auto art = cas::decode_routing(blob, spec_)) {
+                m_routing_.hits->add();
+                auto sp = std::make_shared<const RoutingArtifact>(
+                    std::move(*art));
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!opts_.cache_designs) return sp;
+                return routings_.emplace(key, std::move(sp)).first->second;
+            }
+        }
+    }
 
     obs::ScopedSpan span("pipeline.routing");
     const auto t0 = std::chrono::steady_clock::now();
@@ -443,6 +501,8 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
         route_assignment(spec_, cfg, assign.assign));
     m_routing_.misses->add();
     m_routing_.compute_ms->add(ms_since(t0));
+    if (opts_.cas)
+        opts_.cas->put(cas_prefix_ + key, cas::encode_routing(*artifact));
 
     std::lock_guard<std::mutex> lock(mu_);
     if (!opts_.cache_designs) return artifact;
@@ -464,6 +524,19 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
         if (it != placements_.end()) {
             m_placement_.hits->add();
             return it->second;
+        }
+    }
+    if (opts_.cas) {
+        std::string blob;
+        if (opts_.cas->get(cas_prefix_ + key, blob)) {
+            if (auto art = cas::decode_placement(blob, spec_)) {
+                m_placement_.hits->add();
+                auto sp = std::make_shared<const PlacementArtifact>(
+                    std::move(*art));
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!opts_.cache_designs) return sp;
+                return placements_.emplace(key, std::move(sp)).first->second;
+            }
         }
     }
 
@@ -523,6 +596,8 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
             "must include the generator state");
     m_placement_.misses->add();
     m_placement_.compute_ms->add(ms_since(t0));
+    if (opts_.cas)
+        opts_.cas->put(cas_prefix_ + key, cas::encode_placement(*artifact));
 
     std::lock_guard<std::mutex> lock(mu_);
     if (!opts_.cache_designs) return artifact;
@@ -546,6 +621,19 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
             return it->second;
         }
     }
+    if (opts_.cas) {
+        std::string blob;
+        if (opts_.cas->get(cas_prefix_ + key, blob)) {
+            if (auto art = cas::decode_evaluation(blob, spec_)) {
+                m_evaluation_.hits->add();
+                auto sp = std::make_shared<const EvaluatedDesign>(
+                    std::move(*art));
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!opts_.cache_designs) return sp;
+                return evaluations_.emplace(key, std::move(sp)).first->second;
+            }
+        }
+    }
 
     obs::ScopedSpan span("pipeline.evaluation");
     const auto t0 = std::chrono::steady_clock::now();
@@ -553,6 +641,8 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
         evaluate_design(placed, spec_, cfg));
     m_evaluation_.misses->add();
     m_evaluation_.compute_ms->add(ms_since(t0));
+    if (opts_.cas)
+        opts_.cas->put(cas_prefix_ + key, cas::encode_evaluation(*artifact));
 
     std::lock_guard<std::mutex> lock(mu_);
     if (!opts_.cache_designs) return artifact;

@@ -47,6 +47,10 @@
 #include "sunfloor/obs/metrics.h"
 #include "sunfloor/pipeline/artifacts.h"
 
+namespace sunfloor::cas {
+class Store;
+}
+
 namespace sunfloor::pipeline {
 
 // ------------------------------------------------------------ stage keys
@@ -124,6 +128,15 @@ struct SessionOptions {
     /// Cache routing, placement and evaluation artifacts (reused across
     /// points whose assignments coincide, e.g. neighbouring thetas).
     bool cache_designs = true;
+    /// Optional content-addressed spill store behind the in-memory caches:
+    /// a stage miss consults the store (keyed on the stage key prefixed
+    /// with a spec fingerprint) before computing, and every computed
+    /// artifact is written back — so warm artifacts survive restarts and
+    /// are shared across processes. A store hit counts as a stage hit in
+    /// the pipeline.<stage>.* instruments (plus cas.hits in the store's
+    /// own); results are bit-identical with or without the store, which is
+    /// what lets distributed shards reuse each other's work safely.
+    std::shared_ptr<cas::Store> cas;
 };
 
 /// Cache accounting for one stage. Under concurrent runs two threads may
@@ -155,6 +168,9 @@ struct SessionStats {
 
 /// Difference of two snapshots (per-run deltas for the explorer stats).
 SessionStats operator-(const SessionStats& a, const SessionStats& b);
+
+/// Sum of two snapshots (the dist coordinator accumulates shard deltas).
+SessionStats operator+(const SessionStats& a, const SessionStats& b);
 
 class SynthesisSession {
   public:
@@ -244,6 +260,9 @@ class SynthesisSession {
 
     DesignSpec spec_;
     SessionOptions opts_;
+    /// CAS key namespace for this spec ("s<16-hex of spec text>|"); empty
+    /// when no store is attached.
+    std::string cas_prefix_;
 
     obs::Registry registry_{&obs::Registry::global()};
     StageMetrics m_partition_;

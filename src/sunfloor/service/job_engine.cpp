@@ -71,6 +71,29 @@ std::string JobEngine::batch_key(const JobRequest& req) {
     return format("%016llx", static_cast<unsigned long long>(h));
 }
 
+std::string JobEngine::coalesce_key(const JobRequest& req) {
+    const JobParams& p = req.params;
+    std::string k = format("k%d|%zu:", static_cast<int>(req.kind),
+                           req.spec_text.size());
+    k += req.spec_text;
+    k += format("|a%s|s%lld|fp%d|f", double_bits(p.alpha).c_str(), p.seed,
+                p.floorplan ? 1 : 0);
+    for (const double v : p.freq_mhz) k += double_bits(v) + ",";
+    k += "|m";
+    for (const int v : p.max_tsvs) k += format("%d,", v);
+    k += "|w";
+    for (const int v : p.width_bits) k += format("%d,", v);
+    k += "|t";
+    for (const double v : p.thetas) k += double_bits(v) + ",";
+    k += "|p";
+    for (const SynthesisPhase ph : p.phases)
+        k += format("%s,", phase_to_string(ph));
+    k += "|r";
+    for (const routing::RoutingPolicyId r : p.routings)
+        k += format("%s,", routing::routing_to_string(r));
+    return k;
+}
+
 JobEngine::JobEngine(EngineOptions opts) : opts_(opts) {
     if (opts_.workers <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -83,6 +106,7 @@ JobEngine::JobEngine(EngineOptions opts) : opts_(opts) {
 
     auto& reg = obs::Registry::global();
     m_submitted_ = &reg.counter("service.submitted.total");
+    m_coalesced_ = &reg.counter("service.coalesced.total");
     m_completed_ = &reg.counter("service.completed.total");
     m_failed_ = &reg.counter("service.failed.total");
     m_rej_queue_full_ = &reg.counter("service.rejected.queue_full");
@@ -123,7 +147,11 @@ Submission JobEngine::submit(JobRequest req) {
         m_rej_shutdown_->add();
         return out;
     }
-    if (queued_ >= opts_.queue_capacity) {
+    const std::string ckey = coalesce_key(req);
+    const auto inflight = inflight_.find(ckey);
+    if (inflight == inflight_.end() && queued_ >= opts_.queue_capacity) {
+        // Attaching to in-flight work consumes no queue slot, so only
+        // fresh computations are bounced on capacity.
         out.reason = RejectReason::QueueFull;
         out.error = format("queue is full (%d jobs queued)", queued_);
         ++n_rejected_;
@@ -148,13 +176,25 @@ Submission JobEngine::submit(JobRequest req) {
     job->submitted_at = std::chrono::steady_clock::now();
     ++active_per_client_[job->req.client];
     jobs_.emplace(job->id, job);
-    queue_[job->batch].push_back(job);
-    ++queued_;
     ++n_submitted_;
     m_submitted_->add();
-    m_queue_depth_->observe(queued_);
     out.accepted = true;
     out.id = job->id;
+    if (inflight != inflight_.end()) {
+        // Identical request already queued or running: ride along. The
+        // result is a pure function of the request, so publication of the
+        // primary's bytes to every follower is indistinguishable from
+        // having run this job itself — minus the compute.
+        inflight->second->followers.push_back(std::move(job));
+        ++n_coalesced_;
+        m_coalesced_->add();
+        return out;
+    }
+    job->ckey = ckey;
+    inflight_.emplace(ckey, job);
+    queue_[job->batch].push_back(std::move(job));
+    ++queued_;
+    m_queue_depth_->observe(queued_);
     work_cv_.notify_one();
     return out;
 }
@@ -221,6 +261,7 @@ EngineStats JobEngine::stats() const {
     st.completed = n_completed_;
     st.failed = n_failed_;
     st.rejected = n_rejected_;
+    st.coalesced = n_coalesced_;
     st.queued = queued_;
     st.running = running_;
     st.workers = opts_.workers;
@@ -334,10 +375,33 @@ void JobEngine::worker_loop() {
                 ++n_completed_;
             }
             --running_;
-            auto client = active_per_client_.find(job->req.client);
-            if (client != active_per_client_.end() &&
-                --client->second <= 0)
-                active_per_client_.erase(client);
+            const auto release_client = [this](const std::string& name) {
+                auto client = active_per_client_.find(name);
+                if (client != active_per_client_.end() &&
+                    --client->second <= 0)
+                    active_per_client_.erase(client);
+            };
+            release_client(job->req.client);
+            // Publish the same bytes to every coalesced duplicate, in the
+            // same critical section that retires the in-flight entry — a
+            // concurrent submit either attached before this or finds no
+            // entry and computes fresh.
+            inflight_.erase(job->ckey);
+            for (const std::shared_ptr<Job>& f : job->followers) {
+                f->result = job->result;
+                f->wait_ms = ms_since(f->submitted_at);
+                f->run_ms = job->run_ms;
+                f->state = job->state;
+                if (f->result.failed) {
+                    ++n_failed_;
+                    m_failed_->add();
+                } else {
+                    ++n_completed_;
+                    m_completed_->add();
+                }
+                release_client(f->req.client);
+            }
+            job->followers.clear();
         }
         done_cv_.notify_all();
     }

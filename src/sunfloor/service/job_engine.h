@@ -18,6 +18,17 @@
 // specs; across buckets the globally oldest job goes first (no
 // starvation).
 //
+// Coalescing: a submission whose *entire* request content (coalesce_key()
+// — spec text plus every config field; the client name deliberately
+// excluded) matches a job that is still queued or running attaches to
+// that computation instead of enqueueing a duplicate. Followers get their
+// own ids and their own quota accounting, but the work runs once: one
+// worker, one service.job span, one set of stage misses — and every
+// attached job is published the byte-identical result the moment the
+// primary finishes. Safe because a job's result is a pure function of its
+// request (see above). A follower's wait_ms spans submit to publication;
+// its run_ms mirrors the primary's.
+//
 // Admission control: submissions are rejected (typed, never silently
 // dropped) when the engine is draining, the queue is at capacity, or the
 // client already has `per_client_quota` jobs queued or running.
@@ -109,6 +120,7 @@ struct EngineStats {
     long long completed = 0;
     long long failed = 0;
     long long rejected = 0;
+    long long coalesced = 0;  ///< submissions attached to in-flight work
     int queued = 0;
     int running = 0;
     int workers = 0;
@@ -158,17 +170,30 @@ class JobEngine {
     /// expensive artifacts on a warm session.
     static std::string batch_key(const JobRequest& req);
 
+    /// Full-content identity of a request — every field a job's result
+    /// depends on (kind, spec text, all params), excluding the client.
+    /// Equal keys => byte-identical results, which is what licenses
+    /// cross-client coalescing of in-flight duplicates. Unambiguous (the
+    /// spec text is length-prefixed, doubles keyed by bit pattern), not a
+    /// hash: a collision here would serve one request another's result.
+    static std::string coalesce_key(const JobRequest& req);
+
   private:
     struct Job {
         std::uint64_t id = 0;
         std::uint64_t seq = 0;  ///< global FIFO order for anti-starvation
         JobRequest req;
         std::string batch;
+        std::string ckey;  ///< coalesce_key(); primaries only
         JobState state = JobState::Queued;
         JobResult result;
         std::chrono::steady_clock::time_point submitted_at;
         double wait_ms = 0.0;
         double run_ms = 0.0;
+        /// Coalesced duplicates published together with this (primary)
+        /// job's terminal state. Mutated only under mu_ while the primary
+        /// is non-terminal.
+        std::vector<std::shared_ptr<Job>> followers;
     };
 
     void worker_loop();
@@ -200,6 +225,10 @@ class JobEngine {
     std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
     std::map<std::string, std::deque<std::shared_ptr<Job>>> queue_;
     std::unordered_map<std::string, int> active_per_client_;
+    /// Non-terminal primaries by coalesce_key(); entries are erased in
+    /// the same critical section that publishes the terminal state, so a
+    /// submission either attaches before publication or starts fresh.
+    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
 
     struct SessionEntry {
         std::shared_ptr<pipeline::SynthesisSession> session;
@@ -214,8 +243,10 @@ class JobEngine {
     long long n_completed_ = 0;
     long long n_failed_ = 0;
     long long n_rejected_ = 0;
+    long long n_coalesced_ = 0;
 
     obs::Counter* m_submitted_;
+    obs::Counter* m_coalesced_;
     obs::Counter* m_completed_;
     obs::Counter* m_failed_;
     obs::Counter* m_rej_queue_full_;

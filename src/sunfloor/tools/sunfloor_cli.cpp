@@ -11,6 +11,7 @@
 //                       --benchmark <name>) [options]   # job to sunfloord
 //   sunfloor_cli status --connect <addr> --id <n>
 //   sunfloor_cli result --connect <addr> --id <n> [--wait]
+//   sunfloor_cli cas (stats | gc) --cas <dir> [--max-bytes <n>]
 //
 // Synthesis options:
 //   --freq <MHz>[,<MHz>...]   operating points to sweep  (default 400)
@@ -43,6 +44,23 @@
 //   --traffic <kind>          sim backend: uniform|bursty|hotspot
 //   --packet-len <flits>      sim backend: packet length (default 4)
 //   --out <prefix>            write <prefix>_explore.csv, _explore.json
+//
+// Distributed exploration (explore; results are byte-identical to the
+// single-process run of the same grid):
+//   --shards <n>              split the grid into n contiguous shard jobs
+//   --shard-transport <t>     inproc|socket (default inproc; socket ships
+//                             jobs to sunfloor_shard_worker processes)
+//   --shard-addrs <a>[,...]   worker addresses (socket transport); one
+//                             transport per address, jobs re-queue on
+//                             worker failure
+//   --cas <dir>               content-addressed artifact store shared by
+//                             all shards (also usable without --shards);
+//                             warm stages are loaded instead of recomputed
+//   --cas-max-bytes <n>       size bound handed to the shards' stores
+//
+// CAS maintenance (cas stats | cas gc):
+//   --cas <dir>               the store directory      (required)
+//   --max-bytes <n>           gc: evict LRU objects down to this bound
 //
 // Generator options (generate, and explore --family; specgen families):
 //   --family <f>              pipeline|hub|layered-dag
@@ -97,11 +115,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sunfloor/cas/store.h"
 #include "sunfloor/core/synthesizer.h"
+#include "sunfloor/dist/coordinator.h"
 #include "sunfloor/explore/explorer.h"
 #include "sunfloor/explore/export.h"
 #include "sunfloor/explore/family_sweep.h"
@@ -142,6 +163,8 @@ int usage(const char* argv0) {
                  "[--threads N] [--seed N] [--no-floorplan] [--no-cache] "
                  "[--no-stage-reuse] [--backend analytic|sim] [--rate S] "
                  "[--traffic uniform|bursty|hotspot] [--packet-len N] "
+                 "[--shards N] [--shard-transport inproc|socket] "
+                 "[--shard-addrs A[,A...]] [--cas dir] [--cas-max-bytes N] "
                  "[--out prefix] [--trace file] [--metrics file|-]\n"
                  "       %s simulate (--design <file> | --benchmark <name>) "
                  "[--freq MHz] [--max-ill N] [--alpha A] [--phase auto|1|2] "
@@ -161,8 +184,9 @@ int usage(const char* argv0) {
                  "[--routing P[,...]] [--alpha A] [--seed N] "
                  "[--no-floorplan] [--wait]\n"
                  "       %s status --connect <addr> --id <n>\n"
-                 "       %s result --connect <addr> --id <n> [--wait]\n",
-                 argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+                 "       %s result --connect <addr> --id <n> [--wait]\n"
+                 "       %s cas (stats | gc) --cas <dir> [--max-bytes N]\n",
+                 argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -438,6 +462,12 @@ int run_explore(int argc, char** argv) {
     int instances = 4;
     long long gen_seed = 1;
     std::string family_only_flag;  // generator flag seen, for validation
+    int shards = 0;                // 0 = single-process explore
+    bool shard_socket = false;
+    std::vector<std::string> shard_addrs;
+    std::string dist_only_flag;    // shard flag seen, for validation
+    std::string cas_dir;
+    long long cas_max_bytes = 0;
     ObsSinks sinks;
 
     for (int i = 2; i < argc; ++i) try {
@@ -539,6 +569,36 @@ int run_explore(int argc, char** argv) {
                 opts.sim.inject.packet_length_flits < 1)
                 return usage(argv[0]);
             sim_only_flag = "--packet-len";
+        } else if (arg == "--shards") {
+            const char* v = next();
+            if (!v || !parse_int(v, shards) || shards < 1)
+                return usage(argv[0]);
+        } else if (arg == "--shard-transport") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            const std::string t = v;
+            if (t == "inproc")
+                shard_socket = false;
+            else if (t == "socket")
+                shard_socket = true;
+            else
+                return bad_enum_value("--shard-transport", v,
+                                      "inproc|socket");
+            dist_only_flag = "--shard-transport";
+        } else if (arg == "--shard-addrs") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            shard_addrs = split(v, ',');
+            if (shard_addrs.empty()) return usage(argv[0]);
+            shard_socket = true;
+        } else if (arg == "--cas") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            cas_dir = v;
+        } else if (arg == "--cas-max-bytes") {
+            const char* v = next();
+            if (!v || !parse_int64(v, cas_max_bytes) || cas_max_bytes < 0)
+                return usage(argv[0]);
         } else if (arg == "--out") {
             const char* v = next();
             if (!v) return usage(argv[0]);
@@ -586,6 +646,24 @@ int run_explore(int argc, char** argv) {
                      family_only_flag.c_str());
         return 2;
     }
+    if (shards == 0 && !shard_addrs.empty())
+        shards = static_cast<int>(shard_addrs.size());
+    if (shards == 0 && !dist_only_flag.empty()) {
+        std::fprintf(stderr,
+                     "%s only affects distributed runs; add --shards\n",
+                     dist_only_flag.c_str());
+        return 2;
+    }
+    if (have_family && (shards > 0 || !cas_dir.empty())) {
+        std::fprintf(stderr,
+                     "--shards/--cas do not apply to generated families\n");
+        return 2;
+    }
+    if (shard_socket && shard_addrs.empty()) {
+        std::fprintf(stderr,
+                     "--shard-transport socket requires --shard-addrs\n");
+        return 2;
+    }
 
     if (!sinks.open()) return 1;
 
@@ -603,8 +681,49 @@ int run_explore(int argc, char** argv) {
                 spec.cores.num_layers(), spec.comm.num_flows());
     std::printf("grid: %zu architectural points\n", grid.cartesian_size());
 
-    const Explorer explorer(spec, cfg, opts);
-    const ExploreResult res = explorer.run(grid);
+    ExploreResult res;
+    if (shards > 0) {
+        std::vector<std::shared_ptr<dist::ShardTransport>> workers;
+        if (shard_socket) {
+            for (const std::string& a : shard_addrs)
+                workers.push_back(std::make_shared<dist::SocketTransport>(a));
+        } else {
+            for (int s = 0; s < shards; ++s)
+                workers.push_back(std::make_shared<dist::InprocTransport>());
+        }
+        dist::DistOptions dopts;
+        dopts.shards = shards;
+        dopts.cas_dir = cas_dir;
+        dopts.cas_max_bytes = static_cast<std::uint64_t>(cas_max_bytes);
+        std::printf("distributing %d shard job(s) over %zu %s worker(s)\n",
+                    shards, workers.size(),
+                    shard_socket ? "socket" : "inproc");
+        try {
+            res = dist::distribute_explore(spec, cfg, opts,
+                                           grid.enumerate(), workers, dopts);
+        } catch (const dist::DistError& e) {
+            std::fprintf(stderr, "distributed explore failed (%s): %s\n",
+                         dist::dist_error_kind_to_string(e.kind()),
+                         e.what());
+            return 1;
+        }
+    } else if (!cas_dir.empty()) {
+        pipeline::SessionOptions sopts;
+        try {
+            sopts.cas = std::make_shared<cas::Store>(cas::StoreOptions{
+                cas_dir, static_cast<std::uint64_t>(cas_max_bytes), 60.0});
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        auto session = std::make_shared<pipeline::SynthesisSession>(
+            spec, std::move(sopts));
+        const Explorer explorer(std::move(session), cfg, opts);
+        res = explorer.run(grid);
+    } else {
+        const Explorer explorer(spec, cfg, opts);
+        res = explorer.run(grid);
+    }
     if (!sinks.finish()) return 1;
 
     const auto& st = res.stats;
@@ -1179,9 +1298,77 @@ int run_job_query(int argc, char** argv, bool result_op) {
     return 0;
 }
 
+/// `cas stats` / `cas gc`: operator surface of the content-addressed
+/// artifact store (see cas/store.h). stats scans; gc reaps stale .tmp
+/// debris and evicts LRU objects down to --max-bytes.
+int run_cas(int argc, char** argv) {
+    if (argc < 3) return usage(argv[0]);
+    const std::string op = argv[2];
+    if (op != "stats" && op != "gc") {
+        std::fprintf(stderr, "unknown cas operation '%s'\n", op.c_str());
+        return usage(argv[0]);
+    }
+    std::string dir;
+    long long max_bytes = 0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--cas") {
+            const char* v = next();
+            if (!v) return usage(argv[0]);
+            dir = v;
+        } else if (arg == "--max-bytes") {
+            const char* v = next();
+            if (!v || !parse_int64(v, max_bytes) || max_bytes < 0)
+                return usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "cas %s requires --cas <dir>\n", op.c_str());
+        return 2;
+    }
+    try {
+        cas::Store store(cas::StoreOptions{
+            dir, static_cast<std::uint64_t>(max_bytes), 60.0});
+        if (op == "gc") {
+            const cas::GcResult g = store.gc();
+            std::printf("gc %s: evicted %llu object(s) (%.2f MB), "
+                        "removed %llu stale tmp file(s)\n",
+                        dir.c_str(),
+                        static_cast<unsigned long long>(g.evicted_objects),
+                        static_cast<double>(g.evicted_bytes) / 1e6,
+                        static_cast<unsigned long long>(g.removed_tmp));
+        }
+        const cas::StoreStats s = store.stats();
+        std::printf("%s: %llu object(s), %.2f MB",
+                    dir.c_str(),
+                    static_cast<unsigned long long>(s.objects),
+                    static_cast<double>(s.object_bytes) / 1e6);
+        if (s.tmp_files > 0)
+            std::printf("; %llu tmp file(s), %.2f MB",
+                        static_cast<unsigned long long>(s.tmp_files),
+                        static_cast<double>(s.tmp_bytes) / 1e6);
+        if (max_bytes > 0)
+            std::printf("; bound %.2f MB",
+                        static_cast<double>(max_bytes) / 1e6);
+        std::printf("\n");
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::string(argv[1]) == "cas")
+        return run_cas(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "explore")
         return run_explore(argc, argv);
     if (argc > 1 && std::string(argv[1]) == "simulate")

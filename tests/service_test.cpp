@@ -10,16 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/explore/explorer.h"
 #include "sunfloor/explore/export.h"
 #include "sunfloor/io/report.h"
+#include "sunfloor/obs/trace.h"
 #include "sunfloor/pipeline/session.h"
 #include "sunfloor/service/job_engine.h"
 #include "sunfloor/service/protocol.h"
@@ -224,14 +227,17 @@ TEST(ServiceEngine, QueueFullRejectionIsTypedAndNothingIsLost) {
     JobEngine engine(opts);
     const DesignSpec spec =
         small_spec(specgen::GenFamily::Pipeline, 8, 4);
-    const JobRequest req =
-        make_request(spec, JobKind::Synth, fast_params());
 
     // Submissions are instant next to a synthesis run, so a burst far
-    // beyond capacity must see back-pressure.
+    // beyond capacity must see back-pressure. Every request is distinct
+    // (the frequency varies) — identical ones would coalesce instead of
+    // queueing, which is tested separately below.
     int accepted = 0, queue_full = 0;
     for (int i = 0; i < 200; ++i) {
-        const Submission sub = engine.submit(req);
+        JobParams p = fast_params();
+        p.freq_mhz = {400.0 + i};
+        const Submission sub =
+            engine.submit(make_request(spec, JobKind::Synth, p));
         if (sub.accepted) {
             ++accepted;
         } else {
@@ -353,6 +359,86 @@ TEST(ServiceEngine, WarmSessionCacheIsLruBounded) {
     }
     EXPECT_LE(engine.stats().sessions, 2);
     EXPECT_GE(engine.stats().sessions, 1);
+}
+
+// ----------------------------------------------------------- coalescing
+
+// K concurrent byte-identical submits from K different clients run ONE
+// computation: one service.job span in the trace, every submission its
+// own id, and all K results byte-identical to the one-shot reference.
+TEST(ServiceEngine, ConcurrentIdenticalSubmitsCoalesceToOneComputation) {
+    const DesignSpec spec =
+        small_spec(specgen::GenFamily::Pipeline, 8, 7);
+    JobParams p = fast_params();
+    p.freq_mhz = {400.0};
+    const std::string want = reference_synth_csv(spec, p);
+    ASSERT_FALSE(want.empty());
+
+    EngineOptions opts;
+    opts.workers = 1;
+    // Two queue slots (blocker + primary): the 7 duplicates can only be
+    // accepted by attaching (attaches consume no queue capacity).
+    opts.queue_capacity = 2;
+    JobEngine engine(opts);
+
+    ASSERT_TRUE(obs::start_tracing());
+    // Park the only worker on a slow distinct job so the primary stays
+    // queued — and therefore coalescable — for the whole submit burst,
+    // however unfairly the submitter threads get scheduled.
+    const DesignSpec blocker_spec =
+        small_spec(specgen::GenFamily::Pipeline, 20, 70);
+    JobParams blocker_params;  // floorplan on: tens of milliseconds
+    const Submission blocker = engine.submit(
+        make_request(blocker_spec, JobKind::Synth, blocker_params));
+    ASSERT_TRUE(blocker.accepted) << blocker.error;
+
+    constexpr int kClients = 8;
+    std::vector<std::uint64_t> ids(kClients, 0);
+    {
+        std::atomic<bool> go{false};
+        std::vector<std::thread> submitters;
+        submitters.reserve(kClients);
+        for (int i = 0; i < kClients; ++i)
+            submitters.emplace_back([&, i] {
+                while (!go.load()) std::this_thread::yield();
+                const Submission sub = engine.submit(make_request(
+                    spec, JobKind::Synth, p,
+                    "client" + std::to_string(i)));
+                ASSERT_TRUE(sub.accepted) << sub.error;
+                ids[static_cast<std::size_t>(i)] = sub.id;
+            });
+        go.store(true);
+        for (std::thread& t : submitters) t.join();
+    }
+    for (const std::uint64_t id : ids) {
+        JobStatus st;
+        ASSERT_TRUE(engine.wait(id, st));
+        EXPECT_EQ(st.state, JobState::Done);
+        JobResult r;
+        ASSERT_TRUE(engine.result(id, r));
+        ASSERT_FALSE(r.failed) << r.error;
+        EXPECT_EQ(r.csv, want);  // every client gets the same bytes
+    }
+    engine.begin_drain();
+    engine.drain();
+    std::ostringstream trace;
+    ASSERT_TRUE(obs::stop_tracing(trace));
+
+    // One span = one "B" plus one "E" event carrying the name. Exactly
+    // two jobs computed: the blocker and the one coalesced primary.
+    const std::string json = trace.str();
+    std::size_t events = 0;
+    for (std::size_t at = json.find("\"service.job\"");
+         at != std::string::npos;
+         at = json.find("\"service.job\"", at + 1))
+        ++events;
+    EXPECT_EQ(events, 4u);
+
+    const EngineStats st = engine.stats();
+    EXPECT_EQ(st.submitted, kClients + 1);
+    EXPECT_EQ(st.coalesced, kClients - 1);
+    EXPECT_EQ(st.completed, kClients + 1);  // followers complete too
+    EXPECT_EQ(st.failed, 0);
 }
 
 TEST(ServiceEngine, ThrowingJobReportsFailedWithTheException) {
