@@ -21,7 +21,14 @@
 // Concurrency: any number of processes and threads may put/get/gc the same
 // directory concurrently. Loads read an object in one open; POSIX unlink
 // semantics keep an object readable through its fd even while gc() evicts
-// it, so eviction never corrupts an in-flight load.
+// it, so eviction never corrupts an in-flight load. The store holds no
+// mutex at all — every member is immutable after construction (opts_,
+// resolved metric handles), writes synchronize through O_EXCL tmp files
+// plus rename(2), and the only process-shared mutable in-memory state is
+// the tmp-name sequence counter, a single std::atomic in put(). There is
+// deliberately nothing here for the thread-safety capability analysis to
+// annotate (audited for the static-analysis pass; see
+// util/annotations.h).
 //
 // Eviction (gc) is size-bounded and age-ordered: successful loads bump the
 // object's timestamps, and when the store exceeds max_bytes the

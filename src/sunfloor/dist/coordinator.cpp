@@ -1,9 +1,7 @@
 #include "sunfloor/dist/coordinator.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +12,7 @@
 #include "sunfloor/obs/trace.h"
 #include "sunfloor/service/transport.h"
 #include "sunfloor/util/enum_names.h"
+#include "sunfloor/util/mutex.h"
 #include "sunfloor/util/strings.h"
 #include "sunfloor/util/thread_pool.h"
 
@@ -130,8 +129,8 @@ ExploreResult distribute_explore(
         shard_boundaries(points.size(), dopts.shards);
     const std::size_t njobs = points.empty() ? 0 : bounds.size() - 1;
 
-    std::mutex mu;
-    std::condition_variable cv;
+    util::Mutex mu;
+    util::CondVar cv;
     std::vector<std::size_t> queue;          // job indices, any order
     std::vector<int> attempts(njobs, 0);
     std::vector<ShardResponse> results(njobs);
@@ -151,10 +150,9 @@ ExploreResult distribute_explore(
         for (;;) {
             std::size_t job = 0;
             {
-                std::unique_lock<std::mutex> lk(mu);
-                cv.wait(lk, [&] {
-                    return failed || remaining == 0 || !queue.empty();
-                });
+                util::UniqueLock lk(mu);
+                while (!failed && remaining != 0 && queue.empty())
+                    cv.wait(lk);
                 if (failed || remaining == 0) return;
                 job = queue.back();
                 queue.pop_back();
@@ -176,12 +174,12 @@ ExploreResult distribute_explore(
                         DistErrorKind::Protocol,
                         transport.describe() +
                             ": shard returned wrong point count");
-                std::lock_guard<std::mutex> lk(mu);
+                util::MutexLock lk(mu);
                 results[job] = std::move(resp);
                 consecutive = 0;
                 if (--remaining == 0) cv.notify_all();
             } catch (const DistError& e) {
-                std::lock_guard<std::mutex> lk(mu);
+                util::MutexLock lk(mu);
                 if (failed) return;
                 if (++attempts[job] > dopts.max_retries) {
                     failed = true;

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 
 #include "sunfloor/obs/metrics.h"
@@ -231,7 +230,7 @@ Explorer::Explorer(std::shared_ptr<pipeline::SynthesisSession> session,
       session_(std::move(session)) {}
 
 std::size_t Explorer::cache_size() const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     return cache_.size();
 }
 
@@ -270,7 +269,7 @@ ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
         }
         bool cached = false;
         {
-            std::lock_guard<std::mutex> lock(cache_mu_);
+            util::MutexLock lock(cache_mu_);
             auto it = cache_.find(keys[i]);
             if (it != cache_.end()) {
                 out.points[i].result = it->second;
@@ -321,7 +320,7 @@ ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
     if (opts_.use_cache) {
         // Publish fresh evaluations, then serve the intra-run duplicates.
         {
-            std::lock_guard<std::mutex> lock(cache_mu_);
+            util::MutexLock lock(cache_mu_);
             for (std::size_t i : to_eval)
                 cache_.emplace(keys[i], out.points[i].result);
         }
@@ -362,7 +361,7 @@ ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
         // SimIndexes by content key so each distinct flattening happens
         // once and is shared — the index is immutable, each job drives
         // its own Simulator over it.
-        std::mutex index_mu;
+        util::Mutex index_mu;
         std::unordered_map<std::string,
                            std::shared_ptr<const sim::SimIndex>>
             index_cache;
@@ -383,7 +382,7 @@ ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
                 sim::sim_index_key(topo, spec_, cfg.eval, sp.routing);
             std::shared_ptr<const sim::SimIndex> index;
             {
-                std::lock_guard<std::mutex> lock(index_mu);
+                util::MutexLock lock(index_mu);
                 auto it = index_cache.find(key);
                 if (it != index_cache.end()) index = it->second;
             }
@@ -393,7 +392,7 @@ ExploreResult Explorer::run(const std::vector<GridPoint>& points) const {
                 auto built = std::make_shared<const sim::SimIndex>(
                     sim::build_sim_index(topo, spec_, cfg.eval,
                                          sp.routing));
-                std::lock_guard<std::mutex> lock(index_mu);
+                util::MutexLock lock(index_mu);
                 index = index_cache.emplace(key, std::move(built))
                             .first->second;
             }

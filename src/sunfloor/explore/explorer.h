@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "sunfloor/explore/param_grid.h"
 #include "sunfloor/pipeline/session.h"
 #include "sunfloor/sim/simulator.h"
+#include "sunfloor/util/mutex.h"
 
 namespace sunfloor {
 
@@ -186,7 +186,7 @@ class Explorer {
     ExploreResult run(const std::vector<GridPoint>& points) const;
 
     /// Entries in the cross-run evaluation cache.
-    std::size_t cache_size() const;
+    std::size_t cache_size() const SF_EXCLUDES(cache_mu_);
 
     /// The shared staged-pipeline session (cumulative stats, artifact
     /// counts) driving every synthesis when reuse_stages is on.
@@ -197,8 +197,9 @@ class Explorer {
     SynthesisConfig base_cfg_;
     ExploreOptions opts_;
 
-    mutable std::mutex cache_mu_;
-    mutable std::unordered_map<std::string, SynthesisResult> cache_;
+    mutable util::Mutex cache_mu_;
+    mutable std::unordered_map<std::string, SynthesisResult> cache_
+        SF_GUARDED_BY(cache_mu_);
     std::shared_ptr<pipeline::SynthesisSession> session_;
 };
 

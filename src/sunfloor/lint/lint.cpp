@@ -1,0 +1,660 @@
+#include "sunfloor/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "sunfloor/util/strings.h"
+
+namespace sunfloor::lint {
+
+namespace {
+
+constexpr const char* kRuleIds[] = {
+    "nondet-pow",    "nondet-rand",          "nondet-time",
+    "float-format",  "unordered-iter-export", "raw-mutex",
+    "enum-name-coverage", "suppression-syntax",
+};
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ------------------------------------------------------------- scanning
+//
+// One pass that strips comments and string/char literals (replaced by
+// spaces, newlines preserved so offsets keep their line numbers) while
+// collecting the string-literal bodies (for float-format) and the
+// lint:allow suppressions (from the comments).
+
+struct Suppression {
+    int line = 0;  ///< line the lint:allow token is on
+    std::string rule;
+    bool has_reason = false;
+};
+
+struct Scan {
+    std::string code;  ///< masked content, same length as the input
+    std::vector<std::pair<int, std::string>> strings;  ///< (line, body)
+    std::vector<Suppression> supps;
+};
+
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                                     pos);
+    return static_cast<int>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> find_line_starts(std::string_view s) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < s.size(); ++i)
+        if (s[i] == '\n') starts.push_back(i + 1);
+    return starts;
+}
+
+/// Pull every `lint:allow(<rule>) <reason>` out of one comment whose
+/// text starts at `pos` in the original content.
+void parse_suppressions(std::string_view comment, std::size_t pos,
+                        const std::vector<std::size_t>& line_starts,
+                        std::vector<Suppression>& out) {
+    static constexpr std::string_view kTag = "lint:allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(kTag, at)) != std::string_view::npos) {
+        const std::size_t rule_begin = at + kTag.size();
+        const std::size_t close = comment.find(')', rule_begin);
+        if (close == std::string_view::npos) break;
+        Suppression s;
+        s.line = line_of(line_starts, pos + at);
+        s.rule = std::string(trim(comment.substr(rule_begin,
+                                                 close - rule_begin)));
+        // The reason runs to the end of the comment line.
+        std::size_t reason_end = comment.find('\n', close);
+        if (reason_end == std::string_view::npos)
+            reason_end = comment.size();
+        std::string_view reason =
+            trim(comment.substr(close + 1, reason_end - close - 1));
+        while (!reason.empty() && (reason.back() == '/' ||
+                                   reason.back() == '*'))
+            reason = trim(reason.substr(0, reason.size() - 1));
+        s.has_reason = !reason.empty();
+        out.push_back(std::move(s));
+        at = close;
+    }
+}
+
+Scan scan_source(std::string_view src,
+                 const std::vector<std::size_t>& line_starts) {
+    Scan sc;
+    sc.code.assign(src.begin(), src.end());
+    auto blank = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to && k < sc.code.size(); ++k)
+            if (sc.code[k] != '\n') sc.code[k] = ' ';
+    };
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    while (i < n) {
+        const char c = src[i];
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t end = src.find('\n', i);
+            if (end == std::string_view::npos) end = n;
+            parse_suppressions(src.substr(i, end - i), i, line_starts,
+                               sc.supps);
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t end = src.find("*/", i + 2);
+            end = end == std::string_view::npos ? n : end + 2;
+            parse_suppressions(src.substr(i, end - i), i, line_starts,
+                               sc.supps);
+            blank(i, end);
+            i = end;
+        } else if (c == '"' &&
+                   (i == 0 || src[i - 1] != 'R')) {  // ordinary string
+            const int line = line_of(line_starts, i);
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '"') {
+                if (src[j] == '\\' && j + 1 < n) ++j;
+                if (src[j] == '\n') break;  // unterminated; bail at EOL
+                ++j;
+            }
+            sc.strings.emplace_back(line,
+                                    std::string(src.substr(i + 1, j - i - 1)));
+            blank(i, std::min(j + 1, n));
+            i = std::min(j + 1, n);
+        } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {  // raw string
+            const int line = line_of(line_starts, i);
+            std::size_t p = i + 2;
+            while (p < n && src[p] != '(') ++p;
+            std::string delim(")");
+            delim.append(src.substr(i + 2, p - i - 2));
+            delim += '"';
+            std::size_t end = src.find(delim, p);
+            const std::size_t body_end =
+                end == std::string_view::npos ? n : end;
+            sc.strings.emplace_back(
+                line, std::string(src.substr(p + 1, body_end - p - 1)));
+            end = end == std::string_view::npos ? n : end + delim.size();
+            blank(i, end);
+            i = end;
+        } else if (c == '\'') {  // char literal
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '\'') {
+                if (src[j] == '\\' && j + 1 < n) ++j;
+                if (src[j] == '\n') break;
+                ++j;
+            }
+            blank(i, std::min(j + 1, n));
+            i = std::min(j + 1, n);
+        } else {
+            ++i;
+        }
+    }
+    return sc;
+}
+
+// ------------------------------------------------------- token utilities
+
+/// True when code[pos..pos+t.size()) is `t` as a whole identifier.
+bool whole_word_at(std::string_view code, std::size_t pos,
+                   std::string_view t) {
+    if (pos > 0 && ident_char(code[pos - 1])) return false;
+    const std::size_t end = pos + t.size();
+    if (end < code.size() && ident_char(code[end])) return false;
+    return true;
+}
+
+/// All positions where `t` occurs as a whole identifier.
+std::vector<std::size_t> find_words(std::string_view code,
+                                    std::string_view t) {
+    std::vector<std::size_t> out;
+    std::size_t at = 0;
+    while ((at = code.find(t, at)) != std::string_view::npos) {
+        if (whole_word_at(code, at, t)) out.push_back(at);
+        at += t.size();
+    }
+    return out;
+}
+
+std::size_t skip_ws(std::string_view code, std::size_t i) {
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])))
+        ++i;
+    return i;
+}
+
+/// The identifier starting at `i` (empty if none).
+std::string_view ident_at(std::string_view code, std::size_t i) {
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    return code.substr(i, j - i);
+}
+
+/// With code[open] == the opener, the index one past its matching
+/// closer (angle brackets, parens or braces), or npos.
+std::size_t match_nested(std::string_view code, std::size_t open,
+                         char oc, char cc) {
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == oc) ++depth;
+        if (code[i] == cc && --depth == 0) return i + 1;
+    }
+    return std::string_view::npos;
+}
+
+/// '/'-separated path components.
+std::vector<std::string_view> components(std::string_view path) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (i > start) out.push_back(path.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool has_component(std::string_view path, std::string_view comp) {
+    for (const auto& c : components(path))
+        if (c == comp) return true;
+    return false;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// ------------------------------------------------------------ the rules
+
+struct FileScan {
+    const SourceFile* file;
+    std::vector<std::size_t> line_starts;
+    Scan scan;
+};
+
+void add(std::vector<Finding>& out, const FileScan& fs, std::size_t pos,
+         const char* rule, std::string message) {
+    out.push_back({fs.file->path, line_of(fs.line_starts, pos), rule,
+                   std::move(message)});
+}
+
+void rule_nondet_pow(const FileScan& fs, std::vector<Finding>& out) {
+    for (const char* t : {"pow", "powf", "powl"}) {
+        for (std::size_t p : find_words(fs.scan.code, t)) {
+            const std::size_t after =
+                skip_ws(fs.scan.code, p + std::string_view(t).size());
+            if (after < fs.scan.code.size() && fs.scan.code[after] == '(')
+                add(out, fs, p, "nondet-pow",
+                    format("banned %s(): last-ulp rounding varies across "
+                           "libms; use det_pow16 or integer/sqrt math",
+                           t));
+        }
+    }
+}
+
+void rule_nondet_rand(const FileScan& fs, std::vector<Finding>& out) {
+    for (const char* t : {"rand", "srand"}) {
+        for (std::size_t p : find_words(fs.scan.code, t)) {
+            const std::size_t after =
+                skip_ws(fs.scan.code, p + std::string_view(t).size());
+            if (after < fs.scan.code.size() && fs.scan.code[after] == '(')
+                add(out, fs, p, "nondet-rand",
+                    format("banned %s(): all randomness must come from "
+                           "the portable seeded xoshiro Rng",
+                           t));
+        }
+    }
+    for (std::size_t p : find_words(fs.scan.code, "random_device"))
+        add(out, fs, p, "nondet-rand",
+            "banned std::random_device: all randomness must come from "
+            "the portable seeded xoshiro Rng");
+}
+
+void rule_nondet_time(const FileScan& fs, std::vector<Finding>& out) {
+    // Wall-clock is fine in the observability layer and in benches —
+    // nothing keyed or exported flows from them.
+    if (has_component(fs.file->path, "obs") ||
+        has_component(fs.file->path, "bench"))
+        return;
+    for (std::size_t p : find_words(fs.scan.code, "system_clock"))
+        add(out, fs, p, "nondet-time",
+            "banned std::chrono::system_clock outside obs/bench: "
+            "wall-clock in a keyed or exported path breaks "
+            "reproducibility (steady_clock durations are fine)");
+    for (std::size_t p : find_words(fs.scan.code, "time")) {
+        std::size_t i = skip_ws(fs.scan.code, p + 4);
+        if (i >= fs.scan.code.size() || fs.scan.code[i] != '(') continue;
+        i = skip_ws(fs.scan.code, i + 1);
+        const std::string_view arg = ident_at(fs.scan.code, i);
+        if (arg != "nullptr" && arg != "NULL") continue;
+        if (skip_ws(fs.scan.code, i + arg.size()) < fs.scan.code.size() &&
+            fs.scan.code[skip_ws(fs.scan.code, i + arg.size())] == ')')
+            add(out, fs, p, "nondet-time",
+                "banned time(nullptr) outside obs/bench: wall-clock in a "
+                "keyed or exported path breaks reproducibility");
+    }
+}
+
+void rule_raw_mutex(const FileScan& fs, std::vector<Finding>& out) {
+    // util/ is where the annotated shim itself lives.
+    if (has_component(fs.file->path, "util")) return;
+    static constexpr const char* kBanned[] = {
+        "mutex",         "timed_mutex",    "recursive_mutex",
+        "shared_mutex",  "recursive_timed_mutex",
+        "lock_guard",    "unique_lock",    "scoped_lock",
+        "shared_lock",   "condition_variable",
+        "condition_variable_any",
+    };
+    for (std::size_t p : find_words(fs.scan.code, "std")) {
+        std::size_t i = skip_ws(fs.scan.code, p + 3);
+        if (fs.scan.code.compare(i, 2, "::") != 0) continue;
+        i = skip_ws(fs.scan.code, i + 2);
+        const std::string_view id = ident_at(fs.scan.code, i);
+        for (const char* b : kBanned) {
+            if (id == b) {
+                add(out, fs, p, "raw-mutex",
+                    format("raw std::%s outside util/: use the annotated "
+                           "util::Mutex/MutexLock/UniqueLock/CondVar shim "
+                           "(util/mutex.h) so -Werror=thread-safety can "
+                           "check the lock discipline",
+                           b));
+                break;
+            }
+        }
+    }
+}
+
+bool float_pinned_path(std::string_view path) {
+    return has_component(path, "spec") || has_component(path, "specgen") ||
+           has_component(path, "cas") || ends_with(path, "obs/metrics.cpp") ||
+           ends_with(path, "service/protocol.cpp");
+}
+
+void rule_float_format(const FileScan& fs, std::vector<Finding>& out) {
+    if (!float_pinned_path(fs.file->path)) return;
+    for (const auto& [line, body] : fs.scan.strings) {
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            if (body[i] != '%') continue;
+            if (i + 1 < body.size() && body[i + 1] == '%') {
+                ++i;
+                continue;
+            }
+            std::size_t j = i + 1;
+            while (j < body.size() &&
+                   (std::strchr("-+ #0123456789.*", body[j]) != nullptr ||
+                    body[j] == 'l' || body[j] == 'h' || body[j] == 'L' ||
+                    body[j] == 'z' || body[j] == 'j' || body[j] == 't'))
+                ++j;
+            if (j >= body.size()) break;
+            const char conv = body[j];
+            if (std::strchr("fFeEgGaA", conv) != nullptr) {
+                const std::string spec = body.substr(i, j - i + 1);
+                if (spec != "%.6g" && spec != "%.17g")
+                    out.push_back(
+                        {fs.file->path, line, "float-format",
+                         format("float format \"%s\" in a pinned-format "
+                                "path: only %%.6g (spec writer) and %%.17g "
+                                "(metrics/protocol) render doubles here",
+                                spec.c_str())});
+            }
+            i = j;
+        }
+    }
+}
+
+void rule_unordered_iter(const FileScan& fs, std::vector<Finding>& out) {
+    const std::string_view code = fs.scan.code;
+    // A file "writes exports" when it declares a writer-shaped function.
+    bool writer = false;
+    for (std::size_t i = 0; i < code.size() && !writer; ++i) {
+        if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1])))
+            continue;
+        const std::string_view id = ident_at(code, i);
+        if (id.find("write") != std::string_view::npos ||
+            id.find("export") != std::string_view::npos ||
+            id == "to_json" || id == "to_csv")
+            writer = true;
+        i += id.size();
+    }
+    if (!writer) return;
+
+    // Names of declared std::unordered_{map,set} variables.
+    std::set<std::string, std::less<>> unordered_vars;
+    for (const char* t : {"unordered_map", "unordered_set"}) {
+        for (std::size_t p : find_words(code, t)) {
+            std::size_t i = skip_ws(code, p + std::string_view(t).size());
+            if (i >= code.size() || code[i] != '<') continue;
+            i = match_nested(code, i, '<', '>');
+            if (i == std::string_view::npos) continue;
+            i = skip_ws(code, i);
+            while (i < code.size() && (code[i] == '&' || code[i] == '*'))
+                i = skip_ws(code, i + 1);
+            const std::string_view name = ident_at(code, i);
+            if (!name.empty() && name != "const")
+                unordered_vars.insert(std::string(name));
+        }
+    }
+
+    // Range-for whose range expression names one of them (or an
+    // unordered type directly).
+    for (std::size_t p : find_words(code, "for")) {
+        std::size_t open = skip_ws(code, p + 3);
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::size_t close = match_nested(code, open, '(', ')');
+        if (close == std::string_view::npos) continue;
+        const std::string_view inside =
+            code.substr(open + 1, close - open - 2);
+        // Find the range-for ':' (skip '::').
+        std::size_t colon = std::string_view::npos;
+        for (std::size_t k = 0; k < inside.size(); ++k) {
+            if (inside[k] != ':') continue;
+            if (k + 1 < inside.size() && inside[k + 1] == ':') {
+                ++k;
+                continue;
+            }
+            if (k > 0 && inside[k - 1] == ':') continue;
+            colon = k;
+            break;
+        }
+        if (colon == std::string_view::npos) continue;
+        const std::string_view range = inside.substr(colon + 1);
+        bool hit = range.find("unordered_map") != std::string_view::npos ||
+                   range.find("unordered_set") != std::string_view::npos;
+        std::string which(hit ? "an unordered container" : "");
+        for (const auto& v : unordered_vars) {
+            std::size_t at = 0;
+            while (!hit &&
+                   (at = range.find(v, at)) != std::string_view::npos) {
+                if (whole_word_at(range, at, v)) {
+                    hit = true;
+                    which = "\"" + v + "\"";
+                }
+                at += v.size();
+            }
+        }
+        if (hit)
+            add(out, fs, p, "unordered-iter-export",
+                format("iteration over %s in a file that writes exports: "
+                       "unordered iteration order is implementation-"
+                       "defined; iterate a sorted copy or a std::map",
+                       which.c_str()));
+    }
+}
+
+// enum-name-coverage needs the whole file set: enum definitions usually
+// live in headers while the EnumName tables live in .cpp files.
+
+struct EnumDef {
+    std::string name;  ///< last name component only
+    std::set<std::string> enumerators;
+};
+
+void collect_enum_defs(const FileScan& fs, std::vector<EnumDef>& defs) {
+    const std::string_view code = fs.scan.code;
+    for (std::size_t p : find_words(code, "enum")) {
+        std::size_t i = skip_ws(code, p + 4);
+        std::string_view id = ident_at(code, i);
+        if (id == "class" || id == "struct") {
+            i = skip_ws(code, i + id.size());
+            id = ident_at(code, i);
+        }
+        if (id.empty()) continue;  // anonymous
+        i += id.size();
+        // Skip an optional underlying type up to '{' (a ';' first means
+        // a forward declaration — nothing to collect).
+        while (i < code.size() && code[i] != '{' && code[i] != ';') ++i;
+        if (i >= code.size() || code[i] != '{') continue;
+        const std::size_t close = match_nested(code, i, '{', '}');
+        if (close == std::string_view::npos) continue;
+        EnumDef def;
+        def.name = std::string(id);
+        std::string_view body = code.substr(i + 1, close - i - 2);
+        std::size_t start = 0;
+        for (std::size_t k = 0; k <= body.size(); ++k) {
+            if (k == body.size() || body[k] == ',') {
+                const std::string_view item =
+                    trim(body.substr(start, k - start));
+                const std::string_view e = ident_at(item, 0);
+                if (!e.empty()) def.enumerators.insert(std::string(e));
+                start = k + 1;
+            }
+        }
+        if (!def.enumerators.empty()) defs.push_back(std::move(def));
+    }
+}
+
+void rule_enum_coverage(const std::vector<FileScan>& scans,
+                        std::vector<Finding>& out) {
+    std::vector<EnumDef> defs;
+    for (const auto& fs : scans) collect_enum_defs(fs, defs);
+
+    for (const auto& fs : scans) {
+        const std::string_view code = fs.scan.code;
+        for (std::size_t p : find_words(code, "EnumName")) {
+            std::size_t i = skip_ws(code, p + 8);
+            if (i >= code.size() || code[i] != '<') continue;
+            const std::size_t tend = match_nested(code, i, '<', '>');
+            if (tend == std::string_view::npos) continue;
+            std::string type(trim(code.substr(i + 1, tend - i - 2)));
+            const std::size_t sep = type.rfind("::");
+            const std::string ename =
+                sep == std::string::npos ? type : type.substr(sep + 2);
+            // The table initializer: the next { ... } after the
+            // declarator. A following ';' or '(' first means this is
+            // just a type mention (e.g. a span parameter), not a table.
+            std::size_t b = tend;
+            while (b < code.size() && code[b] != '{' && code[b] != ';' &&
+                   code[b] != '(')
+                ++b;
+            if (b >= code.size() || code[b] != '{') continue;
+            const std::size_t bend = match_nested(code, b, '{', '}');
+            if (bend == std::string_view::npos) continue;
+            const std::string_view body = code.substr(b, bend - b);
+            std::set<std::string, std::less<>> listed;
+            std::size_t at = 0;
+            while ((at = body.find("::", at)) != std::string_view::npos) {
+                const std::string_view e = ident_at(body, at + 2);
+                if (!e.empty()) listed.insert(std::string(e));
+                at += 2;
+            }
+            // Candidate enum definitions of that name (nested enums in
+            // different classes can share a last component): report
+            // against the best-covered candidate so an unrelated
+            // same-name enum cannot cause false alarms.
+            const EnumDef* best = nullptr;
+            std::vector<std::string> best_missing;
+            for (const auto& def : defs) {
+                if (def.name != ename) continue;
+                std::vector<std::string> missing;
+                for (const auto& e : def.enumerators)
+                    if (listed.find(e) == listed.end())
+                        missing.push_back(e);
+                if (!best || missing.size() < best_missing.size()) {
+                    best = &def;
+                    best_missing = std::move(missing);
+                }
+            }
+            if (best && !best_missing.empty()) {
+                std::string names;
+                for (const auto& m : best_missing)
+                    names += (names.empty() ? "" : ", ") + m;
+                add(out, fs, p, "enum-name-coverage",
+                    format("EnumName<%s> table is missing enumerator(s) "
+                           "%s: the enum and its wire spellings have "
+                           "drifted apart",
+                           type.c_str(), names.c_str()));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::span<const char* const> rule_ids() { return kRuleIds; }
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
+    std::vector<FileScan> scans;
+    scans.reserve(files.size());
+    for (const auto& f : files) {
+        FileScan fs;
+        fs.file = &f;
+        fs.line_starts = find_line_starts(f.content);
+        fs.scan = scan_source(f.content, fs.line_starts);
+        scans.push_back(std::move(fs));
+    }
+
+    std::vector<Finding> out;
+    for (const auto& fs : scans) {
+        rule_nondet_pow(fs, out);
+        rule_nondet_rand(fs, out);
+        rule_nondet_time(fs, out);
+        rule_raw_mutex(fs, out);
+        rule_float_format(fs, out);
+        rule_unordered_iter(fs, out);
+        // Every suppression must say why.
+        for (const auto& s : fs.scan.supps)
+            if (!s.has_reason)
+                out.push_back(
+                    {fs.file->path, s.line, "suppression-syntax",
+                     format("lint:allow(%s) without a reason: every "
+                            "suppression must explain itself",
+                            s.rule.c_str())});
+    }
+    rule_enum_coverage(scans, out);
+
+    // Apply suppressions: a reasoned lint:allow on the finding's line or
+    // on the line directly above it.
+    std::vector<Finding> kept;
+    for (auto& f : out) {
+        bool suppressed = false;
+        if (f.rule != std::string_view("suppression-syntax")) {
+            for (const auto& fs : scans) {
+                if (fs.file->path != f.path) continue;
+                for (const auto& s : fs.scan.supps)
+                    if (s.has_reason && s.rule == f.rule &&
+                        (s.line == f.line || s.line == f.line - 1))
+                        suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) kept.push_back(std::move(f));
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.path != b.path) return a.path < b.path;
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return kept;
+}
+
+void write_text(std::ostream& os, const std::vector<Finding>& findings) {
+    for (const auto& f : findings)
+        os << f.path << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += format("\\u%04x", c);
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+    std::ostringstream os;
+    os << "{\n  \"schema_version\": 1,\n  \"count\": " << findings.size()
+       << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        os << (i ? ",\n" : "\n") << "    {\"file\": " << json_escape(f.path)
+           << ", \"line\": " << f.line
+           << ", \"rule\": " << json_escape(f.rule)
+           << ", \"message\": " << json_escape(f.message) << "}";
+    }
+    os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+}  // namespace sunfloor::lint

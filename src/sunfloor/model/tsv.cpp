@@ -33,6 +33,7 @@ double TsvModel::yield(int tsv_count, double base_yield, int knee,
                        double steepness) {
     if (tsv_count <= 0) return base_yield;
     const double ratio = static_cast<double>(tsv_count) / knee;
+    // lint:allow(nondet-pow) diagnostic yield model; reports only, not keyed
     return base_yield * std::exp(-std::pow(std::max(0.0, ratio - 1.0),
                                            steepness));
 }

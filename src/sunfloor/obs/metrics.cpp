@@ -34,7 +34,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         auto c = std::make_unique<Counter>();
@@ -45,7 +45,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         auto g = std::make_unique<Gauge>();
@@ -57,7 +57,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         std::unique_ptr<Histogram> h(new Histogram(std::move(bounds)));
@@ -72,7 +72,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 void Registry::reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (auto& [name, c] : counters_)
         c->v_.store(0, std::memory_order_relaxed);
     for (auto& [name, g] : gauges_)
@@ -110,7 +110,7 @@ std::string quote(const std::string& s) {
 }  // namespace
 
 void Registry::write_json(std::ostream& os) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     os << "{\n  \"schema_version\": 1,\n";
     os << "  \"counters\": {";
     bool first = true;

@@ -26,10 +26,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sunfloor/util/mutex.h"
 
 namespace sunfloor::obs {
 
@@ -116,16 +117,17 @@ class Registry {
 
     /// Find-or-register. Handles stay valid for the registry's lifetime;
     /// resolve once and keep the pointer on hot paths.
-    Counter& counter(std::string_view name);
-    Gauge& gauge(std::string_view name);
+    Counter& counter(std::string_view name) SF_EXCLUDES(mu_);
+    Gauge& gauge(std::string_view name) SF_EXCLUDES(mu_);
     /// `bounds` is consumed on first registration; later calls with the
     /// same name return the existing histogram (bounds must not differ —
     /// enforced with std::logic_error, a naming bug).
-    Histogram& histogram(std::string_view name, std::vector<double> bounds);
+    Histogram& histogram(std::string_view name, std::vector<double> bounds)
+        SF_EXCLUDES(mu_);
 
     /// Zero every instrument's state; registrations (and parent wiring)
     /// survive. Parent registries are untouched.
-    void reset();
+    void reset() SF_EXCLUDES(mu_);
 
     /// Render every instrument, sorted by name, as one JSON document:
     ///   {"schema_version": 1,
@@ -133,16 +135,24 @@ class Registry {
     ///    "gauges":     {"<name>": <double>, ...},
     ///    "histograms": {"<name>": {"bounds": [...], "counts": [...],
     ///                              "count": <int>, "sum": <double>}, ...}}
-    void write_json(std::ostream& os) const;
-    std::string to_json() const;
+    void write_json(std::ostream& os) const SF_EXCLUDES(mu_);
+    std::string to_json() const SF_EXCLUDES(mu_);
 
   private:
+    /// When registries nest, a child's `mu_` is held while resolving the
+    /// same-named instrument in `parent_` (child lock before parent
+    /// lock, always); the parent never calls down into a child, so the
+    /// order is acyclic. Not expressible per-instance with
+    /// SF_ACQUIRED_BEFORE (both locks are the same member of the same
+    /// class), hence documented here instead.
     Registry* parent_;
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    mutable util::Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        SF_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        SF_GUARDED_BY(mu_);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histograms_;
+        histograms_ SF_GUARDED_BY(mu_);
 };
 
 }  // namespace sunfloor::obs

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
+#include "sunfloor/util/mutex.h"
 #include "sunfloor/util/strings.h"
 
 namespace sunfloor::obs {
@@ -34,9 +34,13 @@ struct ThreadBuffer {
     std::uint32_t tid = 0;
 };
 
-std::mutex g_mu;
-std::vector<std::shared_ptr<ThreadBuffer>> g_buffers;
-std::uint32_t g_next_tid = 1;
+util::Mutex g_mu;
+std::vector<std::shared_ptr<ThreadBuffer>> g_buffers SF_GUARDED_BY(g_mu);
+std::uint32_t g_next_tid SF_GUARDED_BY(g_mu) = 1;
+/// Written under g_mu by start_tracing() (a quiescent point — see the
+/// header contract), then read lock-free by now_ns() on every record.
+/// Deliberately NOT guarded_by(g_mu): the quiescence contract, not the
+/// lock, is what makes the reads safe.
 std::chrono::steady_clock::time_point g_t0;
 /// Bumped on start_tracing(); a thread whose cached buffer belongs to an
 /// earlier trace re-registers instead of appending to stale storage.
@@ -53,7 +57,7 @@ ThreadBuffer& thread_buffer() {
     // cached buffer matches the epoch and appends take no lock.
     const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
     if (slot.epoch != epoch || !slot.buf) {
-        std::lock_guard<std::mutex> lock(g_mu);
+        util::MutexLock lock(g_mu);
         slot.buf = std::make_shared<ThreadBuffer>();
         slot.buf->tid = g_next_tid++;
         slot.epoch = epoch;
@@ -90,7 +94,7 @@ void span_end(const char* name) { record(name, 'E', nullptr, 0); }
 }  // namespace detail
 
 bool start_tracing() {
-    std::lock_guard<std::mutex> lock(detail::g_mu);
+    util::MutexLock lock(detail::g_mu);
     if (detail::g_tracing.load(std::memory_order_relaxed)) return false;
     detail::g_buffers.clear();
     detail::g_next_tid = 1;
@@ -114,7 +118,7 @@ std::string span_category(const char* name) {
 bool stop_tracing(std::ostream& os) {
     std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
     {
-        std::lock_guard<std::mutex> lock(detail::g_mu);
+        util::MutexLock lock(detail::g_mu);
         if (!detail::g_tracing.load(std::memory_order_relaxed)) return false;
         detail::g_tracing.store(false, std::memory_order_release);
         buffers.swap(detail::g_buffers);
@@ -152,13 +156,13 @@ bool stop_tracing(std::ostream& os) {
 }
 
 void discard_trace() {
-    std::lock_guard<std::mutex> lock(detail::g_mu);
+    util::MutexLock lock(detail::g_mu);
     detail::g_tracing.store(false, std::memory_order_release);
     detail::g_buffers.clear();
 }
 
 std::size_t trace_buffered_events() {
-    std::lock_guard<std::mutex> lock(detail::g_mu);
+    util::MutexLock lock(detail::g_mu);
     std::size_t n = 0;
     for (const auto& b : detail::g_buffers) n += b->events.size();
     return n;

@@ -386,7 +386,7 @@ std::shared_ptr<const SynthesisSession::GraphEntry>
 SynthesisSession::graph_for(const PartitionGraphId& graph, double alpha) {
     const std::string key = "g|" + graph.key() + "|a=" + double_bits(alpha);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = graphs_.find(key);
         if (it != graphs_.end()) return it->second;
     }
@@ -413,7 +413,7 @@ SynthesisSession::graph_for(const PartitionGraphId& graph, double alpha) {
                 spec_.comm, spec_.cores, graph.layer, alpha);
             break;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return graphs_.emplace(key, std::move(entry)).first->second;
 }
 
@@ -424,7 +424,7 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
         format("pt|%s|%s|k=%d|r=%s", graph.key().c_str(),
                partition_cfg_key(cfg, opts).c_str(), k, rng_in.key().c_str());
     if (opts_.cache_partitions) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = partitions_.find(key);
         if (it != partitions_.end()) {
             m_partition_.hits->add();
@@ -438,7 +438,7 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
                 m_partition_.hits->add();
                 auto sp = std::make_shared<const PartitionArtifact>(
                     std::move(*art));
-                std::lock_guard<std::mutex> lock(mu_);
+                util::MutexLock lock(mu_);
                 if (!opts_.cache_partitions) return sp;
                 return partitions_.emplace(key, std::move(sp)).first->second;
             }
@@ -463,7 +463,7 @@ std::shared_ptr<const PartitionArtifact> SynthesisSession::partition(
     if (opts_.cas)
         opts_.cas->put(cas_prefix_ + key, cas::encode_partition(*artifact));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!opts_.cache_partitions) return artifact;
     // Two threads may have raced on the same key; both values are
     // bit-identical, keep the first inserted.
@@ -474,7 +474,7 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
     const AssignmentArtifact& assign, const SynthesisConfig& cfg) {
     const std::string key = "rt|" + assign.key + "|" + routing_cfg_key(cfg);
     if (opts_.cache_designs) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = routings_.find(key);
         if (it != routings_.end()) {
             m_routing_.hits->add();
@@ -488,7 +488,7 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
                 m_routing_.hits->add();
                 auto sp = std::make_shared<const RoutingArtifact>(
                     std::move(*art));
-                std::lock_guard<std::mutex> lock(mu_);
+                util::MutexLock lock(mu_);
                 if (!opts_.cache_designs) return sp;
                 return routings_.emplace(key, std::move(sp)).first->second;
             }
@@ -504,7 +504,7 @@ std::shared_ptr<const RoutingArtifact> SynthesisSession::route(
     if (opts_.cas)
         opts_.cas->put(cas_prefix_ + key, cas::encode_routing(*artifact));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!opts_.cache_designs) return artifact;
     return routings_.emplace(key, std::move(artifact)).first->second;
 }
@@ -519,7 +519,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
     const std::string key = "pl|" + topology_fingerprint(routed.topo) + "|" +
                             placement_cfg_key(cfg);
     if (opts_.cache_designs) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = placements_.find(key);
         if (it != placements_.end()) {
             m_placement_.hits->add();
@@ -533,7 +533,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
                 m_placement_.hits->add();
                 auto sp = std::make_shared<const PlacementArtifact>(
                     std::move(*art));
-                std::lock_guard<std::mutex> lock(mu_);
+                util::MutexLock lock(mu_);
                 if (!opts_.cache_designs) return sp;
                 return placements_.emplace(key, std::move(sp)).first->second;
             }
@@ -555,7 +555,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
         const std::string lp_key = placement_problem_key(problem);
         std::shared_ptr<const PlacementResult> solution;
         if (opts_.cache_designs) {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             auto it = lp_solutions_.find(lp_key);
             if (it != lp_solutions_.end()) {
                 m_position_lp_.hits->add();
@@ -570,7 +570,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
                 solve_switch_placement(problem, lp_ok));
             m_position_lp_.misses->add();
             m_position_lp_.compute_ms->add(ms_since(lp_t0));
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             solution =
                 opts_.cache_designs
                     ? lp_solutions_.emplace(lp_key, std::move(computed))
@@ -599,7 +599,7 @@ std::shared_ptr<const PlacementArtifact> SynthesisSession::place(
     if (opts_.cas)
         opts_.cas->put(cas_prefix_ + key, cas::encode_placement(*artifact));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!opts_.cache_designs) return artifact;
     return placements_.emplace(key, std::move(artifact)).first->second;
 }
@@ -614,7 +614,7 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
     const std::string key = "ev|" + topology_fingerprint(placed.topo) + "|" +
                             placement_cfg_key(cfg) + "|" + eval_cfg_key(cfg);
     if (opts_.cache_designs) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = evaluations_.find(key);
         if (it != evaluations_.end()) {
             m_evaluation_.hits->add();
@@ -628,7 +628,7 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
                 m_evaluation_.hits->add();
                 auto sp = std::make_shared<const EvaluatedDesign>(
                     std::move(*art));
-                std::lock_guard<std::mutex> lock(mu_);
+                util::MutexLock lock(mu_);
                 if (!opts_.cache_designs) return sp;
                 return evaluations_.emplace(key, std::move(sp)).first->second;
             }
@@ -644,7 +644,7 @@ std::shared_ptr<const EvaluatedDesign> SynthesisSession::evaluate(
     if (opts_.cas)
         opts_.cas->put(cas_prefix_ + key, cas::encode_evaluation(*artifact));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!opts_.cache_designs) return artifact;
     return evaluations_.emplace(key, std::move(artifact)).first->second;
 }
@@ -851,14 +851,14 @@ SessionStats SynthesisSession::stats() const {
 }
 
 std::size_t SynthesisSession::artifact_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return partitions_.size() + routings_.size() + placements_.size() +
            lp_solutions_.size() + evaluations_.size();
 }
 
 void SynthesisSession::clear() {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         graphs_.clear();
         partitions_.clear();
         routings_.clear();

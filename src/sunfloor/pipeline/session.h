@@ -39,8 +39,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "sunfloor/util/mutex.h"
 
 #include "sunfloor/core/synthesizer.h"
 #include "sunfloor/lp/placement_lp.h"
@@ -187,21 +188,25 @@ class SynthesisSession {
     /// (phase 2 overrides the block-size bound per call).
     std::shared_ptr<const PartitionArtifact> partition(
         const PartitionGraphId& graph, int k, const SynthesisConfig& cfg,
-        const PartitionOptions& opts, const RngState& rng_in);
+        const PartitionOptions& opts, const RngState& rng_in)
+        SF_EXCLUDES(mu_);
 
     /// Path-computation stage for one assignment.
     std::shared_ptr<const RoutingArtifact> route(
-        const AssignmentArtifact& assign, const SynthesisConfig& cfg);
+        const AssignmentArtifact& assign, const SynthesisConfig& cfg)
+        SF_EXCLUDES(mu_);
 
     /// Position stage (LP + optional floorplan legalization) for a routed
     /// design. Pure: throws std::logic_error if a (future) legalizer
     /// consumes the generator, since the cache key assumes it cannot.
     std::shared_ptr<const PlacementArtifact> place(
-        const RoutingArtifact& routed, const SynthesisConfig& cfg);
+        const RoutingArtifact& routed, const SynthesisConfig& cfg)
+        SF_EXCLUDES(mu_);
 
     /// Evaluation stage for a placed design.
     std::shared_ptr<const EvaluatedDesign> evaluate(
-        const PlacementArtifact& placed, const SynthesisConfig& cfg);
+        const PlacementArtifact& placed, const SynthesisConfig& cfg)
+        SF_EXCLUDES(mu_);
 
     /// The composed routing -> placement -> evaluation flow of one
     /// assignment — synthesize_design_point() through the caches (none of
@@ -234,10 +239,10 @@ class SynthesisSession {
     obs::Registry& registry() { return registry_; }
 
     /// Cached artifacts over all stages (graphs excluded).
-    std::size_t artifact_count() const;
+    std::size_t artifact_count() const SF_EXCLUDES(mu_);
 
     /// Drop every cached artifact and reset the counters.
-    void clear();
+    void clear() SF_EXCLUDES(mu_);
 
   private:
     struct GraphEntry;
@@ -256,7 +261,8 @@ class SynthesisSession {
     /// spec + alpha (graph construction is deterministic and cheap; the
     /// cache just avoids rebuilding per call).
     std::shared_ptr<const GraphEntry> graph_for(const PartitionGraphId& graph,
-                                                double alpha);
+                                                double alpha)
+        SF_EXCLUDES(mu_);
 
     DesignSpec spec_;
     SessionOptions opts_;
@@ -271,19 +277,25 @@ class SynthesisSession {
     StageMetrics m_position_lp_;
     StageMetrics m_evaluation_;
 
-    mutable std::mutex mu_;
+    /// One lock over all six stage caches. Stage methods hold it only for
+    /// the find/emplace around a compute — never across a stage
+    /// computation or a CAS round-trip — so concurrent misses on the same
+    /// key race benignly (first emplace wins; results are bit-identical).
+    /// The artifacts themselves are immutable once published, which is
+    /// why handing out shared_ptrs of them needs no further guarding.
+    mutable util::Mutex mu_;
     std::unordered_map<std::string, std::shared_ptr<const GraphEntry>>
-        graphs_;
+        graphs_ SF_GUARDED_BY(mu_);
     std::unordered_map<std::string, std::shared_ptr<const PartitionArtifact>>
-        partitions_;
+        partitions_ SF_GUARDED_BY(mu_);
     std::unordered_map<std::string, std::shared_ptr<const RoutingArtifact>>
-        routings_;
+        routings_ SF_GUARDED_BY(mu_);
     std::unordered_map<std::string, std::shared_ptr<const PlacementArtifact>>
-        placements_;
+        placements_ SF_GUARDED_BY(mu_);
     std::unordered_map<std::string, std::shared_ptr<const PlacementResult>>
-        lp_solutions_;
+        lp_solutions_ SF_GUARDED_BY(mu_);
     std::unordered_map<std::string, std::shared_ptr<const EvaluatedDesign>>
-        evaluations_;
+        evaluations_ SF_GUARDED_BY(mu_);
 };
 
 }  // namespace sunfloor::pipeline

@@ -130,7 +130,7 @@ JobEngine::~JobEngine() {
     begin_drain();
     drain();
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -139,7 +139,7 @@ JobEngine::~JobEngine() {
 
 Submission JobEngine::submit(JobRequest req) {
     Submission out;
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (draining_) {
         out.reason = RejectReason::ShuttingDown;
         out.error = "server is shutting down";
@@ -200,7 +200,7 @@ Submission JobEngine::submit(JobRequest req) {
 }
 
 bool JobEngine::status(std::uint64_t id, JobStatus& out) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     const Job& j = *it->second;
@@ -215,7 +215,7 @@ bool JobEngine::status(std::uint64_t id, JobStatus& out) const {
 
 bool JobEngine::wait(std::uint64_t id, JobStatus& out,
                      long long timeout_ms) const {
-    std::unique_lock<std::mutex> lk(mu_);
+    util::UniqueLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     const std::shared_ptr<Job> job = it->second;
@@ -224,10 +224,15 @@ bool JobEngine::wait(std::uint64_t id, JobStatus& out,
                job->state == JobState::Failed;
     };
     if (timeout_ms < 0) {
-        done_cv_.wait(lk, terminal);
+        while (!terminal()) done_cv_.wait(lk);
     } else {
-        done_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                          terminal);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        while (!terminal()) {
+            if (done_cv_.wait_until(lk, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
     }
     out.id = job->id;
     out.kind = job->req.kind;
@@ -239,7 +244,7 @@ bool JobEngine::wait(std::uint64_t id, JobStatus& out,
 }
 
 bool JobEngine::result(std::uint64_t id, JobResult& out) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     const Job& j = *it->second;
@@ -250,12 +255,12 @@ bool JobEngine::result(std::uint64_t id, JobResult& out) const {
 }
 
 int JobEngine::queue_depth() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     return queued_;
 }
 
 EngineStats JobEngine::stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     EngineStats st;
     st.submitted = n_submitted_;
     st.completed = n_completed_;
@@ -270,13 +275,19 @@ EngineStats JobEngine::stats() const {
 }
 
 void JobEngine::begin_drain() {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     draining_ = true;
 }
 
 void JobEngine::drain() {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [this] { return queued_ == 0 && running_ == 0; });
+    util::UniqueLock lk(mu_);
+    while (queued_ != 0 || running_ != 0) done_cv_.wait(lk);
+}
+
+void JobEngine::release_client(const std::string& name) {
+    auto client = active_per_client_.find(name);
+    if (client != active_per_client_.end() && --client->second <= 0)
+        active_per_client_.erase(client);
 }
 
 std::shared_ptr<JobEngine::Job> JobEngine::pop_job(
@@ -331,8 +342,8 @@ void JobEngine::worker_loop() {
         std::shared_ptr<Job> job;
         std::shared_ptr<pipeline::SynthesisSession> session;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            work_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+            util::UniqueLock lk(mu_);
+            while (!stop_ && queued_ == 0) work_cv_.wait(lk);
             if (queued_ == 0) {
                 if (stop_) return;
                 continue;
@@ -364,7 +375,7 @@ void JobEngine::worker_loop() {
         }
 
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            util::MutexLock lk(mu_);
             job->run_ms = run_ms;
             job->result = std::move(result);
             job->state = job->result.failed ? JobState::Failed
@@ -375,12 +386,6 @@ void JobEngine::worker_loop() {
                 ++n_completed_;
             }
             --running_;
-            const auto release_client = [this](const std::string& name) {
-                auto client = active_per_client_.find(name);
-                if (client != active_per_client_.end() &&
-                    --client->second <= 0)
-                    active_per_client_.erase(client);
-            };
             release_client(job->req.client);
             // Publish the same bytes to every coalesced duplicate, in the
             // same critical section that retires the in-flight entry — a

@@ -38,16 +38,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "sunfloor/util/mutex.h"
 
 #include "sunfloor/obs/metrics.h"
 #include "sunfloor/pipeline/session.h"
@@ -139,30 +139,30 @@ class JobEngine {
 
     /// Admit or reject a job. Accepted jobs eventually reach Done or
     /// Failed (never lost); rejected jobs carry a typed reason.
-    Submission submit(JobRequest req);
+    Submission submit(JobRequest req) SF_EXCLUDES(mu_);
 
     /// False when `id` was never issued.
-    bool status(std::uint64_t id, JobStatus& out) const;
+    bool status(std::uint64_t id, JobStatus& out) const SF_EXCLUDES(mu_);
 
     /// Block until `id` is terminal (or `timeout_ms` elapsed; < 0 waits
     /// forever). False when `id` was never issued; on true, `out` holds
     /// the state at return — check it for Done/Failed after a timeout.
     bool wait(std::uint64_t id, JobStatus& out,
-              long long timeout_ms = -1) const;
+              long long timeout_ms = -1) const SF_EXCLUDES(mu_);
 
     /// Fetch a terminal job's result. False when `id` is unknown or the
     /// job is still queued/running.
-    bool result(std::uint64_t id, JobResult& out) const;
+    bool result(std::uint64_t id, JobResult& out) const SF_EXCLUDES(mu_);
 
-    int queue_depth() const;
-    EngineStats stats() const;
+    int queue_depth() const SF_EXCLUDES(mu_);
+    EngineStats stats() const SF_EXCLUDES(mu_);
 
     /// Reject all future submissions (idempotent).
-    void begin_drain();
+    void begin_drain() SF_EXCLUDES(mu_);
 
     /// Block until every accepted job is terminal. Call begin_drain()
     /// first or this may never return under a steady submit stream.
-    void drain();
+    void drain() SF_EXCLUDES(mu_);
 
     /// Artifact-affinity bucket of a request: spec text plus the config
     /// fields the partition/assignment stages consume (alpha, seed,
@@ -196,14 +196,18 @@ class JobEngine {
         std::vector<std::shared_ptr<Job>> followers;
     };
 
-    void worker_loop();
+    void worker_loop() SF_EXCLUDES(mu_);
     /// Pop the next job: `last_batch`'s bucket when non-empty, else the
     /// bucket holding the globally oldest job. Caller holds mu_.
-    std::shared_ptr<Job> pop_job(const std::string& last_batch);
+    std::shared_ptr<Job> pop_job(const std::string& last_batch)
+        SF_REQUIRES(mu_);
+    /// Decrement (and clean up) a client's active-job count when one of
+    /// its jobs reaches a terminal state. Caller holds mu_.
+    void release_client(const std::string& name) SF_REQUIRES(mu_);
     /// Find-or-create the warm session for a request's spec, bumping its
     /// LRU stamp and evicting beyond max_sessions. Caller holds mu_.
     std::shared_ptr<pipeline::SynthesisSession> acquire_session(
-        const JobRequest& req);
+        const JobRequest& req) SF_REQUIRES(mu_);
     /// Execute one job (no lock held). The result is published into the
     /// Job under mu_ by the worker, together with the terminal state —
     /// readers only ever see it after that fence.
@@ -213,37 +217,53 @@ class JobEngine {
 
     EngineOptions opts_;
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;          ///< workers: work or stop
-    mutable std::condition_variable done_cv_;  ///< waiters: job terminal
-    bool draining_ = false;
-    bool stop_ = false;
-    std::uint64_t next_id_ = 1;
-    std::uint64_t next_seq_ = 0;
-    int queued_ = 0;
-    int running_ = 0;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
-    std::map<std::string, std::deque<std::shared_ptr<Job>>> queue_;
-    std::unordered_map<std::string, int> active_per_client_;
+    /// The engine's single state lock. Orders strictly after any
+    /// Channel lock (see the contract in util/channel.h): server handler
+    /// threads finish their channel hand-off before calling in here, and
+    /// nothing under mu_ ever calls a blocking Channel method.
+    ///
+    /// Job fields (state/result/wait_ms/run_ms/followers) are likewise
+    /// read and written only under mu_ once a job is shared — Job is a
+    /// private struct reached through jobs_/queue_/inflight_, so the
+    /// guarded maps are the capability boundary; the fields themselves
+    /// cannot carry SF_GUARDED_BY(mu_) because execute() reads the
+    /// *request* of an unshared copy without the lock.
+    mutable util::Mutex mu_ SF_ACQUIRED_AFTER(util::lock_rank::channel);
+    util::CondVar work_cv_;          ///< workers: work or stop
+    mutable util::CondVar done_cv_;  ///< waiters: job terminal
+    bool draining_ SF_GUARDED_BY(mu_) = false;
+    bool stop_ SF_GUARDED_BY(mu_) = false;
+    std::uint64_t next_id_ SF_GUARDED_BY(mu_) = 1;
+    std::uint64_t next_seq_ SF_GUARDED_BY(mu_) = 0;
+    int queued_ SF_GUARDED_BY(mu_) = 0;
+    int running_ SF_GUARDED_BY(mu_) = 0;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_
+        SF_GUARDED_BY(mu_);
+    std::map<std::string, std::deque<std::shared_ptr<Job>>> queue_
+        SF_GUARDED_BY(mu_);
+    std::unordered_map<std::string, int> active_per_client_
+        SF_GUARDED_BY(mu_);
     /// Non-terminal primaries by coalesce_key(); entries are erased in
     /// the same critical section that publishes the terminal state, so a
     /// submission either attaches before publication or starts fresh.
-    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_
+        SF_GUARDED_BY(mu_);
 
     struct SessionEntry {
         std::shared_ptr<pipeline::SynthesisSession> session;
         std::uint64_t last_use = 0;
     };
-    std::unordered_map<std::string, SessionEntry> sessions_;
-    std::uint64_t session_clock_ = 0;
+    std::unordered_map<std::string, SessionEntry> sessions_
+        SF_GUARDED_BY(mu_);
+    std::uint64_t session_clock_ SF_GUARDED_BY(mu_) = 0;
 
     // Engine-local totals for stats(); the registry counters below are
     // process-wide and would mix engines in one process (tests, benches).
-    long long n_submitted_ = 0;
-    long long n_completed_ = 0;
-    long long n_failed_ = 0;
-    long long n_rejected_ = 0;
-    long long n_coalesced_ = 0;
+    long long n_submitted_ SF_GUARDED_BY(mu_) = 0;
+    long long n_completed_ SF_GUARDED_BY(mu_) = 0;
+    long long n_failed_ SF_GUARDED_BY(mu_) = 0;
+    long long n_rejected_ SF_GUARDED_BY(mu_) = 0;
+    long long n_coalesced_ SF_GUARDED_BY(mu_) = 0;
 
     obs::Counter* m_submitted_;
     obs::Counter* m_coalesced_;

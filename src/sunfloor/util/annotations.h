@@ -1,0 +1,94 @@
+// Clang thread-safety (capability) analysis attribute macros.
+//
+// Wraps the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html behind SF_*
+// macros that expand to nothing on compilers without the analysis
+// (gcc, msvc), so annotated headers stay portable. The CI
+// `static-analysis` job builds the tree with clang and
+// `-Werror=thread-safety`, turning any unguarded access to annotated
+// data into a build failure.
+//
+// Conventions (see README "Static analysis"):
+//   - every mutex in src/ is a `util::Mutex` (the annotated shim in
+//     util/mutex.h); raw `std::mutex` outside util/ is a lint error
+//     (`raw-mutex` rule in sunfloor_lint);
+//   - data a mutex protects is declared `SF_GUARDED_BY(mu_)`;
+//   - private helpers that expect the lock already held are declared
+//     `SF_REQUIRES(mu_)` instead of re-locking;
+//   - public entry points that take the lock are `SF_EXCLUDES(mu_)` so
+//     accidental re-entry is a compile error;
+//   - condition-variable predicates are written as explicit
+//     `while (!pred) cv.wait(lk);` loops — a lambda predicate is
+//     analyzed as a separate function and defeats the checker.
+#pragma once
+
+#if defined(__clang__) && !defined(SF_NO_THREAD_SAFETY_ATTRIBUTES)
+#define SF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SF_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (something that can be held), e.g.
+/// `class SF_CAPABILITY("mutex") Mutex`.
+#define SF_CAPABILITY(x) SF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SF_SCOPED_CAPABILITY SF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data that may only be read or written while holding `x`.
+#define SF_GUARDED_BY(x) SF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer whose *pointee* is protected by `x` (the pointer itself may
+/// be read freely).
+#define SF_PT_GUARDED_BY(x) SF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define SF_ACQUIRE(...) \
+    SF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SF_ACQUIRE_SHARED(...) \
+    SF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must hold it on entry).
+#define SF_RELEASE(...) \
+    SF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SF_RELEASE_SHARED(...) \
+    SF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function may only be called while holding the capability; it does
+/// not acquire or release it.
+#define SF_REQUIRES(...) \
+    SF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SF_REQUIRES_SHARED(...) \
+    SF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`
+/// (e.g. `bool try_lock() SF_TRY_ACQUIRE(true)`).
+#define SF_TRY_ACQUIRE(ret, ...) \
+    SF_THREAD_ANNOTATION(try_acquire_capability(ret, ##__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (it takes
+/// the lock itself; calling it locked would self-deadlock).
+#define SF_EXCLUDES(...) SF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Static lock-order assertions: a mutex declared
+/// `SF_ACQUIRED_BEFORE(other)` must always be taken before `other`
+/// when both are held. (Enforced by clang under
+/// `-Wthread-safety-beta`; always valuable as checked documentation.)
+#define SF_ACQUIRED_BEFORE(...) \
+    SF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SF_ACQUIRED_AFTER(...) \
+    SF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define SF_RETURN_CAPABILITY(x) SF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code reached both
+/// with and without the lock, where the invariant is dynamic).
+#define SF_ASSERT_CAPABILITY(x) \
+    SF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must carry a comment explaining why the invariant is not statically
+/// expressible.
+#define SF_NO_THREAD_SAFETY_ANALYSIS \
+    SF_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -11,13 +11,30 @@
 // return false immediately; receivers drain whatever was accepted before
 // the close and then recv() returns false. Nothing sent after close() is
 // accepted, so "close, then join the consumers" is a complete shutdown.
+//
+// Lock-order contract with service::JobEngine
+// -------------------------------------------
+// The service::Server hands accepted sockets to handler threads through
+// a Channel<int>, and each handler then calls into the JobEngine
+// (submit/status/wait), which takes the engine's own mutex. The channel
+// lock `mu_` is a *leaf*: every Channel method fully releases it before
+// returning (including before notifying a condition variable), and the
+// channel never invokes user code, so no thread can hold `mu_` while
+// acquiring `JobEngine::mu_` through this class. The reverse nesting —
+// calling a *blocking* Channel method while holding the engine lock —
+// must never be introduced: send()/recv() park on a condition variable,
+// and parking while holding the engine lock would stall every engine
+// client behind channel back-pressure. That ordering (channel lock
+// strictly before engine lock) is asserted statically below via
+// SF_ACQUIRED_BEFORE on the lock_rank tokens, and JobEngine::mu_
+// carries the matching SF_ACQUIRED_AFTER.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "sunfloor/util/mutex.h"
 
 namespace sunfloor {
 
@@ -41,10 +58,9 @@ class Channel {
 
     /// Block until there is room (or the channel closes); false when the
     /// value was not accepted because of a close.
-    bool send(T value) {
-        std::unique_lock<std::mutex> lock(mu_);
-        send_cv_.wait(lock,
-                      [&] { return closed_ || items_.size() < capacity_; });
+    bool send(T value) SF_EXCLUDES(mu_) {
+        util::UniqueLock lock(mu_);
+        while (!closed_ && items_.size() >= capacity_) send_cv_.wait(lock);
         if (closed_) return false;
         items_.push_back(std::move(value));
         lock.unlock();
@@ -53,8 +69,8 @@ class Channel {
     }
 
     /// Non-blocking send; never waits for room.
-    TrySend try_send(T value) {
-        std::unique_lock<std::mutex> lock(mu_);
+    TrySend try_send(T value) SF_EXCLUDES(mu_) {
+        util::UniqueLock lock(mu_);
         if (closed_) return TrySend::Closed;
         if (items_.size() >= capacity_) return TrySend::Full;
         items_.push_back(std::move(value));
@@ -65,9 +81,9 @@ class Channel {
 
     /// Block until an item arrives (or the channel closes empty); false
     /// only when closed and fully drained.
-    bool recv(T& out) {
-        std::unique_lock<std::mutex> lock(mu_);
-        recv_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    bool recv(T& out) SF_EXCLUDES(mu_) {
+        util::UniqueLock lock(mu_);
+        while (!closed_ && items_.empty()) recv_cv_.wait(lock);
         if (items_.empty()) return false;  // closed and drained
         out = std::move(items_.front());
         items_.pop_front();
@@ -77,8 +93,8 @@ class Channel {
     }
 
     /// Non-blocking receive; Empty leaves `out` untouched.
-    TryRecv try_recv(T& out) {
-        std::unique_lock<std::mutex> lock(mu_);
+    TryRecv try_recv(T& out) SF_EXCLUDES(mu_) {
+        util::UniqueLock lock(mu_);
         if (items_.empty()) return closed_ ? TryRecv::Closed : TryRecv::Empty;
         out = std::move(items_.front());
         items_.pop_front();
@@ -89,24 +105,26 @@ class Channel {
 
     /// Close the channel: wakes every blocked sender (they return false)
     /// and every blocked receiver (they drain, then return false).
-    /// Idempotent.
-    void close() {
+    /// Idempotent. The wake happens strictly after `mu_` is released —
+    /// close() never notifies while holding the lock, so woken waiters
+    /// re-acquire without an immediate convoy.
+    void close() SF_EXCLUDES(mu_) {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             closed_ = true;
         }
         send_cv_.notify_all();
         recv_cv_.notify_all();
     }
 
-    bool closed() const {
-        std::lock_guard<std::mutex> lock(mu_);
+    bool closed() const SF_EXCLUDES(mu_) {
+        util::MutexLock lock(mu_);
         return closed_;
     }
 
     /// Items currently buffered (a snapshot; racy by nature).
-    std::size_t size() const {
-        std::lock_guard<std::mutex> lock(mu_);
+    std::size_t size() const SF_EXCLUDES(mu_) {
+        util::MutexLock lock(mu_);
         return items_.size();
     }
 
@@ -114,11 +132,12 @@ class Channel {
 
   private:
     const std::size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable send_cv_;  ///< signals senders: room or closed
-    std::condition_variable recv_cv_;  ///< signals receivers: item or closed
-    std::deque<T> items_;
-    bool closed_ = false;
+    /// Leaf lock; see the lock-order contract in the file comment.
+    mutable util::Mutex mu_ SF_ACQUIRED_BEFORE(util::lock_rank::engine);
+    util::CondVar send_cv_;  ///< signals senders: room or closed
+    util::CondVar recv_cv_;  ///< signals receivers: item or closed
+    std::deque<T> items_ SF_GUARDED_BY(mu_);
+    bool closed_ SF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sunfloor

@@ -1,6 +1,8 @@
 #include "sunfloor/util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "sunfloor/obs/trace.h"
 
@@ -20,7 +22,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -29,15 +31,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         queue_.push(std::move(task));
     }
     work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+    util::UniqueLock lock(mu_);
+    while (!(queue_.empty() && busy_ == 0)) idle_cv_.wait(lock);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -47,7 +49,7 @@ void ThreadPool::parallel_for(std::size_t n,
     // queue small and balances uneven per-index cost.
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
     auto aborted = std::make_shared<std::atomic<bool>>(false);
-    std::mutex ex_mu;
+    util::Mutex ex_mu;
     std::exception_ptr first_ex;
     const int tasks = static_cast<int>(
         std::min<std::size_t>(n, static_cast<std::size_t>(num_threads())));
@@ -59,7 +61,7 @@ void ThreadPool::parallel_for(std::size_t n,
                     fn(i);
                 } catch (...) {
                     *aborted = true;  // skip the unclaimed indices
-                    std::lock_guard<std::mutex> lock(ex_mu);
+                    util::MutexLock lock(ex_mu);
                     if (!first_ex) first_ex = std::current_exception();
                 }
             }
@@ -73,8 +75,8 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            util::UniqueLock lock(mu_);
+            while (!stop_ && queue_.empty()) work_cv_.wait(lock);
             if (queue_.empty()) return;  // stop_ set and nothing left to run
             task = std::move(queue_.front());
             queue_.pop();
@@ -88,7 +90,7 @@ void ThreadPool::worker_loop() {
             // one out of a worker thread would terminate the process.
         }
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             --busy_;
         }
         idle_cv_.notify_all();

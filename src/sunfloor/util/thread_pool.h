@@ -7,13 +7,13 @@
 // must be seeded per task, never per worker.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "sunfloor/util/mutex.h"
 
 namespace sunfloor {
 
@@ -34,10 +34,10 @@ class ThreadPool {
     /// worker thread has nowhere to rethrow them); tasks that can fail
     /// should capture their own errors, or use parallel_for, which
     /// propagates the first exception to the caller.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) SF_EXCLUDES(mu_);
 
     /// Block until the queue is empty and every worker is idle.
-    void wait_idle();
+    void wait_idle() SF_EXCLUDES(mu_);
 
     /// Run fn(0) .. fn(n-1), distributing indices over the workers via a
     /// shared queue, and wait for all of them. The calling thread only
@@ -49,15 +49,15 @@ class ThreadPool {
     static int default_thread_count();
 
   private:
-    void worker_loop();
+    void worker_loop() SF_EXCLUDES(mu_);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mu_;
-    std::condition_variable work_cv_;   ///< signals workers: task or stop
-    std::condition_variable idle_cv_;   ///< signals waiters: possibly idle
-    int busy_ = 0;
-    bool stop_ = false;
+    util::Mutex mu_;
+    std::queue<std::function<void()>> queue_ SF_GUARDED_BY(mu_);
+    util::CondVar work_cv_;   ///< signals workers: task or stop
+    util::CondVar idle_cv_;   ///< signals waiters: possibly idle
+    int busy_ SF_GUARDED_BY(mu_) = 0;
+    bool stop_ SF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sunfloor

@@ -233,6 +233,7 @@ TEST(CasStore, GcReapsStaleTmpDebrisButSparesLiveWriters) {
     const std::string fresh = dir.path + "/00000000deadbeef.tmp.1234.8";
     write_file(stale, "half-written");
     write_file(fresh, "half-written");
+    // lint:allow(nondet-time) back-dating a file mtime to exercise GC age
     set_mtime(stale, std::time(nullptr) - 3600);
 
     cas::StoreStats st = store.stats();
@@ -259,6 +260,7 @@ TEST(CasStore, GcEvictsLeastRecentlyUsedUntilUnderTheBound) {
     }
     // Pin the recency order explicitly (mtime drives eviction): "a" oldest,
     // "d" newest.
+    // lint:allow(nondet-time) back-dating file mtimes to pin GC recency
     const std::time_t now = std::time(nullptr);
     for (std::size_t i = 0; i < keys.size(); ++i)
         set_mtime(dir.path + "/" + cas::Store::object_name(keys[i]),
@@ -284,6 +286,7 @@ TEST(CasStore, SuccessfulLoadRefreshesTheEvictionOrder) {
     const std::string payload(1000, 'z');
     cas::Store store = open_store(dir.path);
     for (const char* k : {"old", "new"}) ASSERT_TRUE(store.put(k, payload));
+    // lint:allow(nondet-time) back-dating file mtimes to pin GC recency
     const std::time_t now = std::time(nullptr);
     set_mtime(dir.path + "/" + cas::Store::object_name("old"), now - 1000);
     set_mtime(dir.path + "/" + cas::Store::object_name("new"), now - 500);

@@ -1,0 +1,30 @@
+// Fixture: known-bad lock discipline. annotations_compile_test asserts
+// this file FAILS to compile under `clang -fsyntax-only
+// -Werror=thread-safety` — the negative test that proves the capability
+// analysis is actually wired up and not silently disabled.
+#include "sunfloor/util/mutex.h"
+
+namespace {
+
+class Counter {
+public:
+    // Reads a guarded member with no lock held.
+    int racy_read() { return n_; }
+
+    // Calls a REQUIRES method without holding the capability.
+    void racy_bump() { bump_locked(); }
+
+    void bump_locked() SF_REQUIRES(mu_) { ++n_; }
+
+private:
+    mutable sunfloor::util::Mutex mu_;
+    int n_ SF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter c;
+    c.racy_bump();
+    return c.racy_read();
+}

@@ -1,0 +1,6 @@
+// Fixture: enum definitions for the enum-name-coverage rule. The
+// tables live in enums_table.cpp — the rule is cross-file.
+#pragma once
+
+enum class Color { kRed, kGreen, kBlue };
+enum class Shape { kCircle = 1, kSquare = 2 };

@@ -1,0 +1,21 @@
+// Fixture: one complete EnumName table (ok, aliases allowed) and one
+// missing an enumerator (fires; lint_test pins the line).
+#include "enums.h"
+
+template <typename E>
+struct EnumName {
+    E value;
+    const char* name;
+};
+
+constexpr EnumName<Shape> kShapeNames[] = {
+    {Shape::kCircle, "circle"},
+    {Shape::kSquare, "square"},
+    {Shape::kSquare, "box"},  // alias entry: fine
+};
+
+constexpr EnumName<Color> kColorNames[] = {  // line 17: enum-name-coverage
+    {Color::kRed, "red"},
+    {Color::kGreen, "green"},
+    // kBlue is missing.
+};

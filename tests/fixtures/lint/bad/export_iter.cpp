@@ -1,0 +1,19 @@
+// Fixture: unordered iteration in a file that writes exports. The
+// write_report declaration marks the file as a writer; both range-fors
+// over unordered containers fire (lint_test pins the lines).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void write_report(const std::unordered_map<std::string, int>& counts,
+                  const std::unordered_set<std::string>& tags) {
+    for (const auto& [k, v] : counts)        // line 12: unordered-iter-export
+        std::printf("%s=%d\n", k.c_str(), v);
+    for (const auto& t : tags)               // line 14: unordered-iter-export
+        std::printf("%s\n", t.c_str());
+    const std::map<std::string, int> sorted(counts.begin(), counts.end());
+    for (const auto& [k, v] : sorted)        // ordered copy: ok
+        std::printf("%s=%d\n", k.c_str(), v);
+}

@@ -1,0 +1,11 @@
+// Fixture: raw standard-library locking outside util/ (lint_test pins
+// the lines).
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;                    // line 6: raw-mutex
+std::condition_variable g_cv;       // line 7: raw-mutex
+
+void touch() {
+    std::lock_guard<std::mutex> lock(g_mu);  // line 10: raw-mutex (x2)
+}

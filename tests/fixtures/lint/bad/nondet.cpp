@@ -1,0 +1,15 @@
+// Fixture: every nondeterminism rule fires here (lint_test pins the
+// exact lines; renumber the expectations if you edit this file).
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double a(double x) { return std::pow(x, 0.5); }          // line 9: nondet-pow
+float b(float x) { return powf(x, 2.0f); }               // line 10: nondet-pow
+int c() { return rand() % 7; }                           // line 11: nondet-rand
+void d(unsigned s) { srand(s); }                         // line 12: nondet-rand
+unsigned e() { return std::random_device{}(); }          // line 13: nondet-rand
+long f() { return time(nullptr); }                       // line 14: nondet-time
+auto g() { return std::chrono::system_clock::now(); }    // line 15: nondet-time

@@ -1,0 +1,18 @@
+// Fixture: suppression behavior (lint_test pins the lines).
+#include <cmath>
+#include <cstdlib>
+
+// Reasoned same-line suppression: silenced.
+double a(double x) { return std::pow(x, 0.5); }  // lint:allow(nondet-pow) fixture: reasoned suppression
+
+// Reasoned above-line suppression: silenced.
+// lint:allow(nondet-pow) fixture: reasoned suppression, line above
+double b(double x) { return std::pow(x, 2.0); }
+
+// Reasonless suppression: does NOT silence the finding, and itself
+// raises suppression-syntax.
+// lint:allow(nondet-rand)
+int c() { return rand() % 7; }  // line 15: nondet-rand (line 14: suppression-syntax)
+
+// Wrong rule named: the pow finding survives.
+double d(double x) { return std::pow(x, 3.0); }  // lint:allow(nondet-rand) wrong rule on purpose — line 18: nondet-pow

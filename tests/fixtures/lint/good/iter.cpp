@@ -1,0 +1,10 @@
+// Fixture: unordered iteration in a file with no writer-shaped function
+// is fine (order-insensitive aggregation) — zero findings expected.
+#include <string>
+#include <unordered_map>
+
+int total(const std::unordered_map<std::string, int>& counts) {
+    int sum = 0;
+    for (const auto& [k, v] : counts) sum += v;
+    return sum;
+}

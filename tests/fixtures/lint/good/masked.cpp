@@ -1,0 +1,23 @@
+// Fixture: banned tokens inside comments and string literals must NOT
+// fire — the scanner masks both before matching. This whole file is
+// expected to produce zero findings.
+//
+// std::pow(x, y) in a line comment.
+/* rand() and srand(seed) in a block comment. */
+#include <string>
+
+std::string doc() {
+    return "call std::pow(x, y) or time(nullptr) or std::mutex here";
+}
+
+std::string raw() {
+    return R"(random_device and system_clock and %f inside a raw string)";
+}
+
+// A non-call use of the name: a member access `obj.time` or a variable
+// named pow is fine too.
+struct S {
+    int time = 0;
+    int pow = 0;
+};
+int h(const S& s) { return s.time + s.pow; }

@@ -1,0 +1,6 @@
+// Fixture: a loose %f outside the pinned-format paths is fine — this
+// file must produce zero findings (its path has no spec/specgen/cas
+// component).
+#include <cstdio>
+
+void print_summary(double v) { std::printf("latency %.3f ms\n", v); }

@@ -1,0 +1,7 @@
+// Fixture: wall-clock in an obs/ path is exempt from nondet-time —
+// this file must produce zero findings.
+#include <chrono>
+#include <ctime>
+
+long stamp() { return time(nullptr); }
+auto wall() { return std::chrono::system_clock::now(); }

@@ -1,0 +1,14 @@
+// Fixture: float-format in a pinned path (spec/). The two pinned specs
+// pass; everything else fires (lint_test pins the exact lines).
+#include <cstdio>
+
+void write_spec(double v) {
+    std::printf("theta %.6g\n", v);          // pinned: ok
+    std::printf("metric %.17g\n", v);        // pinned: ok
+    std::printf("pct 100%% at %.6g\n", v);   // %% is a literal: ok
+    std::printf("bad %f\n", v);              // line 9: float-format
+    std::printf("bad %.3f\n", v);            // line 10: float-format
+    std::printf("bad %g\n", v);              // line 11: float-format
+    std::printf("bad %12.4e\n", v);          // line 12: float-format
+    std::printf("int %d is fine\n", 3);      // non-float conversion: ok
+}

@@ -1,0 +1,6 @@
+// Fixture: util/ is where the annotated shim wraps the standard
+// primitives, so raw std::mutex here is exempt — zero findings.
+#include <mutex>
+
+std::mutex g_mu;
+void touch() { std::lock_guard<std::mutex> lock(g_mu); }
